@@ -1,0 +1,101 @@
+// Command medad hosts a simulated MEDA biochip on a TCP socket, speaking the
+// newline-delimited JSON protocol of internal/device — the cyber-physical
+// interface between a routing controller and the chip (Fig. 13/14). Any
+// controller can dispense droplets, issue one microfluidic action per
+// operational cycle, and read back the 2-bit health matrix while the chip
+// degrades underneath it.
+//
+//	medad -listen 127.0.0.1:7070 -seed 7 -faults clustered
+//
+// Try it with netcat:
+//
+//	$ echo '{"op":"info"}' | nc 127.0.0.1 7070
+//	{"ok":true,"w":60,"h":30,"bits":2}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"meda"
+	"meda/internal/chip"
+	"meda/internal/device"
+	"meda/internal/randx"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "TCP address to listen on")
+	seed := flag.Uint64("seed", 2021, "chip seed")
+	faults := flag.String("faults", "none", "fault injection: none, uniform, clustered")
+	fraction := flag.Float64("fraction", 0.12, "fraction of faulty microelectrodes")
+	state := flag.String("state", "", "chip state file: loaded at start if present, saved on interrupt (wear persists)")
+	flag.Parse()
+
+	cfg := meda.DefaultChipConfig()
+	switch *faults {
+	case "none":
+	case "uniform":
+		cfg.Faults = meda.FaultPlan{Mode: meda.FaultUniform, Fraction: *fraction, FailAfterLo: 10, FailAfterHi: 120}
+	case "clustered":
+		cfg.Faults = meda.FaultPlan{Mode: meda.FaultClustered, Fraction: *fraction, FailAfterLo: 10, FailAfterHi: 120}
+	default:
+		fmt.Fprintln(os.Stderr, "medad: -faults must be none, uniform, or clustered")
+		os.Exit(2)
+	}
+	src := randx.New(*seed)
+	var c *chip.Chip
+	var err error
+	if *state != "" {
+		if f, ferr := os.Open(*state); ferr == nil {
+			c, err = chip.LoadState(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "medad: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("medad: restored worn chip from %s\n", *state)
+		}
+	}
+	if c == nil {
+		c, err = chip.New(cfg, src.Split("chip"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "medad: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *state != "" {
+		// Persist the chip's wear on interrupt, like powering down real
+		// hardware.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		go func() {
+			<-sig
+			f, err := os.Create(*state)
+			if err == nil {
+				err = c.SaveState(f)
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "medad: saving state: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("medad: chip state saved to %s\n", *state)
+			os.Exit(0)
+		}()
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medad: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("medad: %d×%d biochip (seed %d, faults %s) listening on %s\n",
+		cfg.W, cfg.H, *seed, *faults, ln.Addr())
+	srv := device.NewServer(c, src.Split("nature"))
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "medad: %v\n", err)
+		os.Exit(1)
+	}
+}

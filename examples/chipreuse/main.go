@@ -1,0 +1,57 @@
+// Chip reuse: the paper's headline scenario (Sec. VII-B / Fig. 15). A CMOS
+// MEDA biochip is reused for many serial-dilution runs; microelectrodes wear
+// with every actuation. The degradation-unaware baseline router keeps
+// driving droplets over the same cells until the chip fails; the adaptive
+// router reads the 2-bit health matrix and re-synthesizes routes around
+// degraded regions, extending the chip's service life.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meda"
+)
+
+func main() {
+	const runs = 20
+	cfg := meda.DefaultChipConfig()
+	plan, err := meda.CompileBenchmark(meda.SerialDilution, cfg, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Serial Dilution ×%d on one %d×%d biochip (k_max = 1000 cycles per run)\n\n",
+		runs, cfg.W, cfg.H)
+
+	for _, name := range []string{"baseline", "adaptive"} {
+		src := meda.NewSource(42)
+		c, err := meda.NewChip(cfg, src.Split("chip"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var r meda.Router
+		if name == "adaptive" {
+			r = meda.NewAdaptiveRouter()
+		} else {
+			r = meda.NewBaselineRouter()
+		}
+		runner := meda.NewRunner(meda.DefaultSimConfig(), c, r, src.Split("sim"))
+		fmt.Printf("%s router:\n  cycles per run: ", name)
+		completed := 0
+		for e := 0; e < runs; e++ {
+			exec, err := runner.Execute(plan)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !exec.Success {
+				fmt.Printf("✗(aborted)")
+				break
+			}
+			completed++
+			fmt.Printf("%d ", exec.Cycles)
+		}
+		fmt.Printf("\n  completed %d/%d runs before the chip wore out\n\n", completed, runs)
+	}
+	fmt.Println("The baseline's fixed shortest paths concentrate actuations and the")
+	fmt.Println("chip fails early; adaptive routing spreads wear and keeps completing runs.")
+}

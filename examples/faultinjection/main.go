@@ -1,0 +1,66 @@
+// Fault injection: clustered microelectrode faults (Sec. VII-C / Fig. 16).
+// 2×2 clusters of microelectrodes fail suddenly after a random number of
+// actuations, acting as roadblocks. The adaptive router observes the dead
+// clusters through the health matrix (code "00") and synthesizes detours;
+// the baseline keeps pushing droplets into them. The example prints the
+// observed health map after the trial, with dead clusters marked.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"meda"
+	"meda/internal/vis"
+)
+
+func main() {
+	cfg := meda.DefaultChipConfig()
+	cfg.Faults = meda.FaultPlan{
+		Mode:        meda.FaultClustered,
+		Fraction:    0.12,
+		FailAfterLo: 10,
+		FailAfterHi: 120,
+	}
+	fmt.Printf("NuIP with clustered faults (%d%% of MCs in 2×2 clusters)\n\n",
+		int(cfg.Faults.Fraction*100))
+
+	for _, name := range []string{"baseline", "adaptive"} {
+		tc := meda.DefaultTrialConfig(7)
+		tc.Chip = cfg
+		var mk func() meda.Router
+		if name == "adaptive" {
+			mk = meda.NewAdaptiveRouter
+		} else {
+			mk = meda.NewBaselineRouter
+		}
+		res, err := meda.RunTrial(tc, meda.NuIP, mk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d/5 executions succeeded, cycles %v\n", name, res.Successes, res.Cycles)
+	}
+
+	// Visualize the health matrix after an adaptive trial: '#' dead,
+	// digits = observed health code, '.' fully healthy.
+	src := meda.NewSource(7)
+	c, err := meda.NewChip(cfg, src.Split("chip"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := meda.CompileBenchmark(meda.NuIP, cfg, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := meda.NewRunner(meda.DefaultSimConfig(), c, meda.NewAdaptiveRouter(), src.Split("sim"))
+	for e := 0; e < 3; e++ {
+		if _, err := runner.Execute(plan); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nobserved health matrix after three adaptive runs:")
+	vis.HealthMap(os.Stdout, c)
+	fmt.Println("\n'#' = dead (code 00), digits = degraded codes — the adaptive")
+	fmt.Println("router routes around these regions; the baseline cannot see them.")
+}

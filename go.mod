@@ -1,0 +1,3 @@
+module meda
+
+go 1.22

@@ -1,0 +1,323 @@
+// Benchmark bioassay generators. Six protocols drive the evaluation of
+// Sec. VII (Master-Mix, CEP, Serial Dilution, NuIP, COVID-RAT, COVID-PCR),
+// three more drive the degradation-pattern study of Sec. III-C (ChIP,
+// multiplex in-vitro, gene expression), and two classic DMFB benchmarks
+// (Protein, PCR-Mix) extend the suite. Every generator takes the chip
+// layout and the dispensed droplet area, so the same protocol can be run at
+// the droplet sizes 3×3 … 6×6 studied in Fig. 3.
+package assay
+
+// Benchmark identifies one of the generated benchmark protocols.
+type Benchmark int
+
+// The benchmark protocols.
+const (
+	MasterMix Benchmark = iota
+	CEP
+	SerialDilution
+	NuIP
+	CovidRAT
+	CovidPCR
+	ChIP
+	InVitro
+	GeneExpression
+	// Protein and PCRMix are classic DMFB synthesis benchmarks provided
+	// beyond the paper's evaluation set: Protein exercises the split tree
+	// of a colorimetric protein assay, PCRMix the binary mixing tree of a
+	// polymerase-chain-reaction master-mix stage.
+	Protein
+	PCRMix
+)
+
+// EvaluationBenchmarks are the six bioassays of the Sec. VII evaluation
+// (Figs. 15–16), in the paper's order.
+var EvaluationBenchmarks = []Benchmark{MasterMix, CEP, SerialDilution, NuIP, CovidRAT, CovidPCR}
+
+// CorrelationBenchmarks are the three bioassays of the Sec. III-C
+// degradation-pattern study (Fig. 3).
+var CorrelationBenchmarks = []Benchmark{ChIP, InVitro, GeneExpression}
+
+// String returns the benchmark's display name.
+func (b Benchmark) String() string {
+	switch b {
+	case MasterMix:
+		return "Master-Mix"
+	case CEP:
+		return "CEP"
+	case SerialDilution:
+		return "Serial-Dilution"
+	case NuIP:
+		return "NuIP"
+	case CovidRAT:
+		return "COVID-RAT"
+	case CovidPCR:
+		return "COVID-PCR"
+	case ChIP:
+		return "ChIP"
+	case InVitro:
+		return "In-Vitro"
+	case GeneExpression:
+		return "Gene-Expression"
+	case Protein:
+		return "Protein"
+	case PCRMix:
+		return "PCR-Mix"
+	}
+	return "unknown"
+}
+
+// Build generates the benchmark's sequencing graph for the given layout and
+// dispensed droplet area.
+func (b Benchmark) Build(l Layout, area int) *Assay {
+	switch b {
+	case MasterMix:
+		return buildMasterMix(l, area)
+	case CEP:
+		return buildCEP(l, area)
+	case SerialDilution:
+		return buildSerialDilution(l, area, 6)
+	case NuIP:
+		return buildNuIP(l, area)
+	case CovidRAT:
+		return buildCovidRAT(l, area)
+	case CovidPCR:
+		return buildCovidPCR(l, area)
+	case ChIP:
+		return buildChIP(l, area)
+	case InVitro:
+		return buildInVitro(l, area, 2, 2)
+	case GeneExpression:
+		return buildGeneExpression(l, area, 4)
+	case Protein:
+		return buildProtein(l, area)
+	case PCRMix:
+		return buildPCRMix(l, area)
+	}
+	return nil
+}
+
+// buildMasterMix prepares a PCR master mix: four reagents (polymerase,
+// dNTPs, primers, buffer) combined in a binary mix tree and dispensed out.
+func buildMasterMix(l Layout, area int) *Assay {
+	b := builder{name: MasterMix.String()}
+	r0 := b.dis(l.Reservoir(0), area)
+	r1 := b.dis(l.Reservoir(1), area)
+	r2 := b.dis(l.Reservoir(2), area)
+	r3 := b.dis(l.Reservoir(3), area)
+	m0 := b.mix(r0, r1, l.Module(0))
+	m1 := b.mix(r2, r3, l.Module(3))
+	m2 := b.mix(m0, m1, l.Module(1))
+	b.out(m2, l.Port(0))
+	return b.assay()
+}
+
+// buildCEP is the three-stage CEP bioprotocol: cell lysis, mRNA extraction,
+// and mRNA purification, each a reagent mix followed by bead capture, with
+// the stage product feeding the next stage.
+func buildCEP(l Layout, area int) *Assay {
+	b := builder{name: CEP.String()}
+	sample := b.dis(l.Reservoir(0), area)
+	stage := sample
+	for s := 0; s < 3; s++ {
+		reagent := b.dis(l.Reservoir(2*s+1), area)
+		mixed := b.mix(stage, reagent, l.Module(2*s))
+		held := b.mag(mixed, l.Module(2*s+1), 15)
+		if s < 2 {
+			// Discard the supernatant aliquot and carry the capture on.
+			spl := b.spt(held, l.Module(2*s+2), l.Module(2*s))
+			b.dsc(spl, l.Port(s)) // consumes output 0
+			stage = spl           // output 1 carries forward
+		} else {
+			stage = held
+		}
+	}
+	b.out(stage, l.Port(3))
+	return b.assay()
+}
+
+// buildSerialDilution performs the exponential-gradient serial dilution of
+// the paper's reference [40]: each stage dilutes the carried sample with
+// fresh buffer (mix + split) and discards one half.
+func buildSerialDilution(l Layout, area, stages int) *Assay {
+	b := builder{name: SerialDilution.String()}
+	carried := b.dis(l.Reservoir(0), area)
+	for s := 0; s < stages; s++ {
+		buffer := b.dis(l.Reservoir(s+1), area)
+		d := b.dlt(carried, buffer, l.Module(s), l.Module(s+1))
+		// dlt produces two droplets; the first consumer claims the half
+		// at loc[0] (discarded to waste), the second carries on from
+		// loc[1].
+		b.dsc(d, l.Port(s%3))
+		carried = d
+	}
+	b.out(carried, l.Port(3))
+	return b.assay()
+}
+
+// buildNuIP is the nucleosome-immunoprecipitation protocol of reference
+// [17]: bead binding, antibody incubation, and three wash cycles with
+// magnetic holds, then elution and collection.
+func buildNuIP(l Layout, area int) *Assay {
+	b := builder{name: NuIP.String()}
+	chromatin := b.dis(l.Reservoir(0), area)
+	beads := b.dis(l.Reservoir(1), area)
+	bound := b.mix(chromatin, beads, l.Module(0))
+	capture := b.mag(bound, l.Module(1), 25)
+	antibody := b.dis(l.Reservoir(2), area)
+	incubated := b.mix(capture, antibody, l.Module(2))
+	stage := b.mag(incubated, l.Module(3), 25)
+	for w := 0; w < 3; w++ {
+		wash := b.dis(l.Reservoir(3+w), area)
+		mixed := b.mix(stage, wash, l.Module(4+w))
+		held := b.mag(mixed, l.Module(5+w), 15)
+		spl := b.spt(held, l.Module(4+w), l.Module(6+w))
+		b.dsc(spl, l.Port(w))
+		stage = spl
+	}
+	eluent := b.dis(l.Reservoir(6), area)
+	eluted := b.mix(stage, eluent, l.Module(2))
+	final := b.mag(eluted, l.Module(0), 25)
+	b.out(final, l.Port(3))
+	return b.assay()
+}
+
+// buildCovidRAT is the rapid antigen test: swab extract mixed with assay
+// buffer, held at the detection module, and collected. The shortest
+// protocol in the suite.
+func buildCovidRAT(l Layout, area int) *Assay {
+	b := builder{name: CovidRAT.String()}
+	sample := b.dis(l.Reservoir(0), area)
+	buffer := b.dis(l.Reservoir(1), area)
+	mixed := b.mix(sample, buffer, l.Module(0))
+	detect := b.mag(mixed, l.Module(4), 20)
+	b.out(detect, l.Port(0))
+	return b.assay()
+}
+
+// buildCovidPCR is the PCR-based test: lysis, RNA capture, elution dilution,
+// master-mix addition, and thermocycling hold.
+func buildCovidPCR(l Layout, area int) *Assay {
+	b := builder{name: CovidPCR.String()}
+	sample := b.dis(l.Reservoir(0), area)
+	lysis := b.dis(l.Reservoir(1), area)
+	lysed := b.mix(sample, lysis, l.Module(0))
+	captured := b.mag(lysed, l.Module(1), 20)
+	eluent := b.dis(l.Reservoir(2), area)
+	d := b.dlt(captured, eluent, l.Module(2), l.Module(4))
+	b.dsc(d, l.Port(0))
+	master := b.dis(l.Reservoir(3), area)
+	reaction := b.mix(d, master, l.Module(3))
+	cycled := b.mag(reaction, l.Module(5), 30)
+	b.out(cycled, l.Port(1))
+	return b.assay()
+}
+
+// buildChIP is the chromatin-immunoprecipitation benchmark used in the
+// Fig. 3 correlation study: bead binding, two washes, and elution.
+func buildChIP(l Layout, area int) *Assay {
+	b := builder{name: ChIP.String()}
+	chromatin := b.dis(l.Reservoir(0), area)
+	antibody := b.dis(l.Reservoir(1), area)
+	complexed := b.mix(chromatin, antibody, l.Module(0))
+	beads := b.dis(l.Reservoir(2), area)
+	bound := b.mix(complexed, beads, l.Module(2))
+	stage := b.mag(bound, l.Module(3), 20)
+	for w := 0; w < 2; w++ {
+		wash := b.dis(l.Reservoir(3+w), area)
+		mixed := b.mix(stage, wash, l.Module(4+w))
+		held := b.mag(mixed, l.Module(1+w), 12)
+		spl := b.spt(held, l.Module(4+w), l.Module(2+w))
+		b.dsc(spl, l.Port(w))
+		stage = spl
+	}
+	eluent := b.dis(l.Reservoir(5), area)
+	eluted := b.mix(stage, eluent, l.Module(0))
+	b.out(eluted, l.Port(2))
+	return b.assay()
+}
+
+// buildInVitro is the classic multiplexed in-vitro diagnostics benchmark:
+// every sample (plasma, serum, …) is assayed against every reagent, with an
+// optical detection hold per pair.
+func buildInVitro(l Layout, area, samples, reagents int) *Assay {
+	b := builder{name: InVitro.String()}
+	k := 0
+	for s := 0; s < samples; s++ {
+		for r := 0; r < reagents; r++ {
+			sd := b.dis(l.Reservoir(2*s), area)
+			rd := b.dis(l.Reservoir(2*r+1), area)
+			// Disjoint module pairs per chain: the chains execute
+			// concurrently, so their modules must not collide.
+			mixed := b.mix(sd, rd, l.Module(2*k))
+			held := b.mag(mixed, l.Module(2*k+1), 10)
+			b.out(held, l.Port(k))
+			k++
+		}
+	}
+	return b.assay()
+}
+
+// buildGeneExpression is the gene-expression benchmark: a probe is serially
+// combined with reporter reagent across dilution points and read out.
+func buildGeneExpression(l Layout, area, points int) *Assay {
+	b := builder{name: GeneExpression.String()}
+	probe := b.dis(l.Reservoir(0), area)
+	carried := probe
+	for p := 0; p < points; p++ {
+		reporter := b.dis(l.Reservoir(p+1), area)
+		// Three modules per dilution point: point p's readout (mag) may
+		// still be holding while point p+1 mixes, so module lifetimes
+		// must not overlap.
+		d := b.dlt(carried, reporter, l.Module(3*p), l.Module(3*p+1))
+		read := b.mag(d, l.Module(3*p+2), 10)
+		// The dlt's first droplet is read out; the second carries on.
+		b.out(read, l.Port(p%3))
+		carried = d
+	}
+	b.dsc(carried, l.Port(3))
+	return b.assay()
+}
+
+// buildProtein is the classic colorimetric protein assay: the sample is
+// split through a binary tree into four aliquots, each mixed with reagent
+// and read optically. Split-heavy: it exercises the spt pathway harder than
+// any protocol in the paper's suite.
+func buildProtein(l Layout, area int) *Assay {
+	b := builder{name: Protein.String()}
+	sample := b.dis(l.Reservoir(0), area)
+	// Level 1 split.
+	top := b.spt(sample, l.Module(0), l.Module(3))
+	// Level 2 splits (first consumer claims loc[0], second loc[1]).
+	left := b.spt(top, l.Module(1), l.Module(2))
+	right := b.spt(top, l.Module(4), l.Module(5))
+	leaves := []int{left, left, right, right}
+	for i, leaf := range leaves {
+		reagent := b.dis(l.Reservoir(i+1), area)
+		mixed := b.mix(leaf, reagent, l.Module(6+i))
+		read := b.mag(mixed, l.Module(10-i), 12)
+		b.out(read, l.Port(i))
+	}
+	return b.assay()
+}
+
+// buildPCRMix is the PCR master-mix preparation stage: eight reagents
+// combined through a binary mixing tree, then thermocycled and collected.
+func buildPCRMix(l Layout, area int) *Assay {
+	b := builder{name: PCRMix.String()}
+	var level []int
+	for i := 0; i < 8; i++ {
+		level = append(level, b.dis(l.Reservoir(i), area))
+	}
+	mod := 0
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.mix(level[i], level[i+1], l.Module(mod)))
+			mod++
+		}
+		level = next
+	}
+	cycled := b.mag(level[0], l.Module(mod), 25)
+	b.out(cycled, l.Port(0))
+	return b.assay()
+}

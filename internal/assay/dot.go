@@ -1,0 +1,42 @@
+// Graphviz export of sequencing graphs: render a bioassay's dataflow for
+// documentation or debugging with `dot -Tsvg`.
+package assay
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT writes the assay's sequencing graph in Graphviz DOT format, one
+// node per operation (labeled like Fig. 12's SG) and one edge per droplet.
+func WriteDOT(w io.Writer, a *Assay) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", a.Name); err != nil {
+		return err
+	}
+	for _, mo := range a.MOs {
+		label := fmt.Sprintf("M%d %s", mo.ID, mo.Type)
+		switch mo.Type {
+		case Dis:
+			label += fmt.Sprintf("\\narea %d", mo.Area)
+		case Mag:
+			label += fmt.Sprintf("\\nhold %d", mo.Hold)
+		}
+		shape := ""
+		switch mo.Type {
+		case Dis:
+			shape = ", style=filled, fillcolor=lightblue"
+		case Out, Dsc:
+			shape = ", style=filled, fillcolor=lightgray"
+		}
+		if _, err := fmt.Fprintf(w, "  m%d [label=\"%s\"%s];\n", mo.ID, label, shape); err != nil {
+			return err
+		}
+		for _, pre := range mo.Pre {
+			if _, err := fmt.Fprintf(w, "  m%d -> m%d;\n", pre, mo.ID); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

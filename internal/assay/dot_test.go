@@ -1,0 +1,53 @@
+package assay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	a := MasterMix.Build(defaultLayout(), 16)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph \"Master-Mix\"") {
+		t.Errorf("header: %q", out[:40])
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("missing closing brace")
+	}
+	// One node per operation and one edge per consumed droplet.
+	if got := strings.Count(out, "label=\"M"); got != a.Len() {
+		t.Errorf("nodes = %d, want %d", got, a.Len())
+	}
+	edges := 0
+	for _, mo := range a.MOs {
+		edges += len(mo.Pre)
+	}
+	if got := strings.Count(out, "->"); got != edges {
+		t.Errorf("edges = %d, want %d", got, edges)
+	}
+	if !strings.Contains(out, "area 16") {
+		t.Error("dispense area annotation missing")
+	}
+	if !strings.Contains(out, "fillcolor=lightblue") {
+		t.Error("dispense styling missing")
+	}
+}
+
+func TestWriteDOTAllBenchmarksParseable(t *testing.T) {
+	for _, bm := range []Benchmark{SerialDilution, NuIP, Protein, PCRMix} {
+		var buf bytes.Buffer
+		if err := WriteDOT(&buf, bm.Build(defaultLayout(), 16)); err != nil {
+			t.Errorf("%v: %v", bm, err)
+		}
+		// Minimal structural sanity: braces balance.
+		out := buf.String()
+		if strings.Count(out, "{") != strings.Count(out, "}") {
+			t.Errorf("%v: unbalanced braces", bm)
+		}
+	}
+}

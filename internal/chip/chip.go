@@ -1,0 +1,285 @@
+// Package chip models the physical MEDA biochip: a W×H array of
+// microelectrode cells with per-cell degradation state (Sec. III/V), the
+// actuation interface used by the controller, and the two views of
+// microelectrode condition that drive the paper's framework:
+//
+//   - the hidden degradation matrix D, known only to the simulator, and
+//   - the observed b-bit health matrix H, produced by the 2-bit sensing
+//     hardware of Sec. III and the only condition information available to
+//     the routing strategy synthesizer.
+//
+// Coordinates are 1-based: x ∈ [1, W], y ∈ [1, H].
+package chip
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"meda/internal/action"
+	"meda/internal/degrade"
+	"meda/internal/geom"
+	"meda/internal/randx"
+)
+
+// Config describes how to instantiate a biochip.
+type Config struct {
+	W, H int
+	// HealthBits is b, the number of health-sensing bits (2 for the new
+	// MC design of Sec. III).
+	HealthBits int
+	// Normal is the degradation-constant distribution for normal MCs
+	// (Sec. VII-B: c ~ U(200,500), τ ~ U(0.5,0.9)).
+	Normal degrade.ParamRange
+	// Faulty optionally overrides the constant distribution for MCs
+	// selected by the fault plan; zero value means "same as Normal".
+	Faulty degrade.ParamRange
+	// Faults is the hard-fault injection plan (Sec. VII-C).
+	Faults degrade.FaultPlan
+}
+
+// Default returns the evaluation configuration of Sec. VII-B: a fabricated
+// 30×60 MEDA biochip (we write it W=60 columns × H=30 rows) with 2-bit
+// health sensing and the default degradation ranges, no hard faults.
+func Default() Config {
+	return Config{W: 60, H: 30, HealthBits: 2, Normal: degrade.DefaultNormal}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.W < 1 || c.H < 1 {
+		return fmt.Errorf("chip: invalid dimensions %d×%d", c.W, c.H)
+	}
+	if c.HealthBits < 1 || c.HealthBits > 8 {
+		return fmt.Errorf("chip: health bits %d out of [1,8]", c.HealthBits)
+	}
+	if err := c.Normal.Validate(); err != nil {
+		return err
+	}
+	if c.Faulty != (degrade.ParamRange{}) {
+		if err := c.Faulty.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.Faults.Validate()
+}
+
+// Chip is the simulated biochip state.
+type Chip struct {
+	w, h int
+	bits int
+	mcs  []degrade.MC // row-major, index = (y−1)*w + (x−1)
+}
+
+// New instantiates a biochip, sampling per-MC degradation constants and
+// placing hard faults according to the configuration. All randomness comes
+// from src.
+func New(cfg Config, src *randx.Source) (*Chip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Chip{w: cfg.W, h: cfg.H, bits: cfg.HealthBits, mcs: make([]degrade.MC, cfg.W*cfg.H)}
+	paramSrc := src.Split("params")
+	for i := range c.mcs {
+		c.mcs[i].Params = cfg.Normal.Sample(paramSrc)
+	}
+	if cfg.Faults.Mode != degrade.FaultNone {
+		faultSrc := src.Split("faults")
+		faulty := cfg.Faulty
+		if faulty == (degrade.ParamRange{}) {
+			faulty = cfg.Normal
+		}
+		for _, idx := range cfg.Faults.PlaceFaults(cfg.W, cfg.H, faultSrc) {
+			c.mcs[idx].Params = faulty.Sample(paramSrc)
+			c.mcs[idx].FailAt = faultSrc.IntRange(cfg.Faults.FailAfterLo, cfg.Faults.FailAfterHi)
+		}
+	}
+	return c, nil
+}
+
+// W returns the chip width (number of columns).
+func (c *Chip) W() int { return c.w }
+
+// H returns the chip height (number of rows).
+func (c *Chip) H() int { return c.h }
+
+// HealthBits returns b.
+func (c *Chip) HealthBits() int { return c.bits }
+
+// Bounds returns the full chip rectangle ⟦1,W⟧×⟦1,H⟧.
+func (c *Chip) Bounds() geom.Rect { return geom.Rect{XA: 1, YA: 1, XB: c.w, YB: c.h} }
+
+// Contains reports whether (x, y) is on-chip.
+func (c *Chip) Contains(x, y int) bool {
+	return 1 <= x && x <= c.w && 1 <= y && y <= c.h
+}
+
+func (c *Chip) index(x, y int) int { return (y-1)*c.w + (x - 1) }
+
+// MC returns the microelectrode cell at (x, y), or nil off-chip.
+func (c *Chip) MC(x, y int) *degrade.MC {
+	if !c.Contains(x, y) {
+		return nil
+	}
+	return &c.mcs[c.index(x, y)]
+}
+
+// Actuations returns the actuation counter n of the MC at (x, y).
+func (c *Chip) Actuations(x, y int) int {
+	if !c.Contains(x, y) {
+		return 0
+	}
+	return c.mcs[c.index(x, y)].N
+}
+
+// Degradation returns the hidden degradation level D at (x, y); off-chip
+// cells report 0 (no EWOD force beyond the array edge).
+func (c *Chip) Degradation(x, y int) float64 {
+	if !c.Contains(x, y) {
+		return 0
+	}
+	return c.mcs[c.index(x, y)].Degradation()
+}
+
+// Force returns the relative EWOD force F̄ = D² at (x, y), 0 off-chip.
+func (c *Chip) Force(x, y int) float64 {
+	d := c.Degradation(x, y)
+	return d * d
+}
+
+// Health returns the observed b-bit health code at (x, y), 0 off-chip.
+func (c *Chip) Health(x, y int) int {
+	if !c.Contains(x, y) {
+		return 0
+	}
+	return c.mcs[c.index(x, y)].Health(c.bits)
+}
+
+// TrueForceField is the simulator's force field, computed from the hidden
+// degradation matrix D (Sec. V-C: "for simulation, the same model is used,
+// except that the health matrix H is substituted with the degradation
+// matrix D").
+func (c *Chip) TrueForceField() action.ForceField {
+	return func(x, y int) float64 { return c.Force(x, y) }
+}
+
+// ObservedForceField is the controller-visible force field: the b-bit health
+// code is de-quantized to a degradation estimate D̂ and squared. This is the
+// field the synthesis MDP is built from.
+func (c *Chip) ObservedForceField() action.ForceField {
+	return func(x, y int) float64 {
+		if !c.Contains(x, y) {
+			return 0
+		}
+		d := degrade.DegradationFromHealth(c.Health(x, y), c.bits)
+		return d * d
+	}
+}
+
+// Actuate applies one operational cycle's actuation pattern: every MC inside
+// each rectangle is actuated once (charged and discharged), advancing its
+// degradation. Rectangles are clipped to the chip; overlapping rectangles
+// actuate a cell only once per cycle.
+func (c *Chip) Actuate(patterns ...geom.Rect) {
+	if len(patterns) == 1 {
+		// Fast path: the common single-droplet case needs no dedup.
+		r, ok := patterns[0].Intersect(c.Bounds())
+		if !ok {
+			return
+		}
+		for y := r.YA; y <= r.YB; y++ {
+			base := (y - 1) * c.w
+			for x := r.XA; x <= r.XB; x++ {
+				c.mcs[base+x-1].Actuate()
+			}
+		}
+		return
+	}
+	seen := map[int]bool{}
+	for _, p := range patterns {
+		r, ok := p.Intersect(c.Bounds())
+		if !ok {
+			continue
+		}
+		for y := r.YA; y <= r.YB; y++ {
+			for x := r.XA; x <= r.XB; x++ {
+				idx := c.index(x, y)
+				if !seen[idx] {
+					seen[idx] = true
+					c.mcs[idx].Actuate()
+				}
+			}
+		}
+	}
+}
+
+// TotalActuations returns Σ n over all MCs, the chip's cumulative wear.
+func (c *Chip) TotalActuations() int {
+	total := 0
+	for i := range c.mcs {
+		total += c.mcs[i].N
+	}
+	return total
+}
+
+// HealthMatrix returns a copy of the observed health matrix H as rows[y-1][x-1].
+func (c *Chip) HealthMatrix() [][]int {
+	out := make([][]int, c.h)
+	for y := 1; y <= c.h; y++ {
+		row := make([]int, c.w)
+		for x := 1; x <= c.w; x++ {
+			row[x-1] = c.Health(x, y)
+		}
+		out[y-1] = row
+	}
+	return out
+}
+
+// DegradationMatrix returns a copy of the hidden degradation matrix D.
+func (c *Chip) DegradationMatrix() [][]float64 {
+	out := make([][]float64, c.h)
+	for y := 1; y <= c.h; y++ {
+		row := make([]float64, c.w)
+		for x := 1; x <= c.w; x++ {
+			row[x-1] = c.Degradation(x, y)
+		}
+		out[y-1] = row
+	}
+	return out
+}
+
+// HealthHash returns a hash of the observed health codes within region,
+// used by the hybrid scheduler to detect health changes that require
+// re-synthesis (Alg. 3). The region is clipped to the chip.
+func (c *Chip) HealthHash(region geom.Rect) uint64 {
+	h := fnv.New64a()
+	r, ok := region.Intersect(c.Bounds())
+	if !ok {
+		return h.Sum64()
+	}
+	var buf [1]byte
+	for y := r.YA; y <= r.YB; y++ {
+		for x := r.XA; x <= r.XB; x++ {
+			buf[0] = byte(c.Health(x, y))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// MinHealth returns the minimum observed health code within region (clipped
+// to the chip); returns 2^b−1 for an empty region.
+func (c *Chip) MinHealth(region geom.Rect) int {
+	minH := 1<<uint(c.bits) - 1
+	r, ok := region.Intersect(c.Bounds())
+	if !ok {
+		return minH
+	}
+	for y := r.YA; y <= r.YB; y++ {
+		for x := r.XA; x <= r.XB; x++ {
+			if h := c.Health(x, y); h < minH {
+				minH = h
+			}
+		}
+	}
+	return minH
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"meda/internal/assay"
+	"meda/internal/chip"
+	"meda/internal/degrade"
+	"meda/internal/plan"
+	"meda/internal/randx"
+	"meda/internal/route"
+	"meda/internal/sched"
+	"meda/internal/sim"
+)
+
+func main() {
+	g := plan.Strip(assay.MasterMix.Build(assay.Layout{W: 60, H: 30}, 16))
+	placed, err := plan.NewPlacer(60, 30).Place(g)
+	if err != nil {
+		panic(err)
+	}
+	for _, mo := range placed.MOs {
+		fmt.Printf("M%d %s pre=%v loc=%v\n", mo.ID, mo.Type, mo.Pre, mo.Loc)
+	}
+	pl, _ := route.Compile(placed, 60, 30)
+	cfg := chip.Default()
+	cfg.Normal = degrade.ParamRange{Tau1: 0.99, Tau2: 0.999, C1: 5000, C2: 10000}
+	c, _ := chip.New(cfg, randx.New(7))
+	r := sim.NewRunner(sim.DefaultConfig(), c, sched.NewBaseline(), randx.New(7))
+	r.Debug = os.Stdout
+	r.DebugEvery = 400
+	exec, _ := r.Execute(pl)
+	fmt.Printf("%+v\n", exec)
+}

@@ -1,0 +1,166 @@
+// Synthetic lab bench reproducing the PCB-prototype degradation experiments
+// of Sec. IV-A (Fig. 4–6). The paper actuated electrodes of three sizes on a
+// fabricated PCB DMFB (1.5 kHz, 200 Vpp, R = 1 MΩ in series) and measured the
+// effective capacitance with an oscilloscope after repeated 1 s and 5 s
+// actuation pulses. We have no PCB, so this file generates measurement traces
+// with the empirically established properties — linear capacitance growth
+// whose slope increases with pulse duration (residual charge) and electrode
+// size — and exposes them to the same fitting code the paper's analysis uses.
+package degrade
+
+import (
+	"fmt"
+
+	"meda/internal/randx"
+)
+
+// ElectrodeSize identifies one of the three PCB electrode sizes of Fig. 4(a).
+type ElectrodeSize int
+
+const (
+	// Electrode2mm is the 2×2 mm² electrode.
+	Electrode2mm ElectrodeSize = iota
+	// Electrode3mm is the 3×3 mm² electrode.
+	Electrode3mm
+	// Electrode4mm is the 4×4 mm² electrode.
+	Electrode4mm
+)
+
+// ElectrodeSizes lists the three sizes in ascending order.
+var ElectrodeSizes = [3]ElectrodeSize{Electrode2mm, Electrode3mm, Electrode4mm}
+
+// String returns e.g. "2x2mm".
+func (s ElectrodeSize) String() string {
+	switch s {
+	case Electrode2mm:
+		return "2x2mm"
+	case Electrode3mm:
+		return "3x3mm"
+	case Electrode4mm:
+		return "4x4mm"
+	}
+	return "unknown"
+}
+
+// SideMM returns the electrode side length in millimeters.
+func (s ElectrodeSize) SideMM() float64 {
+	switch s {
+	case Electrode2mm:
+		return 2
+	case Electrode3mm:
+		return 3
+	case Electrode4mm:
+		return 4
+	}
+	return 0
+}
+
+// AreaMM2 returns the electrode area in mm².
+func (s ElectrodeSize) AreaMM2() float64 { side := s.SideMM(); return side * side }
+
+// FittedParams returns the paper's Fig. 6 fitted degradation constants
+// (τ, c) for the electrode size: (0.556, 822.7), (0.543, 805.5) and
+// (0.530, 788.4) for 2, 3 and 4 mm electrodes respectively.
+func (s ElectrodeSize) FittedParams() Params {
+	switch s {
+	case Electrode2mm:
+		return Params{Tau: 0.556, C: 822.7}
+	case Electrode3mm:
+		return Params{Tau: 0.543, C: 805.5}
+	case Electrode4mm:
+		return Params{Tau: 0.530, C: 788.4}
+	}
+	return Params{}
+}
+
+// CapacitancePoint is one oscilloscope-derived measurement: the effective
+// electrode capacitance (pF) after N actuation pulses.
+type CapacitancePoint struct {
+	N  int
+	PF float64
+}
+
+// BenchConfig configures the synthetic PCB bench.
+type BenchConfig struct {
+	// PulseSeconds is the per-actuation pulse length: 1 s for the charge-
+	// trapping experiment of Fig. 5(a), 5 s for the residual-charge
+	// experiment of Fig. 5(b).
+	PulseSeconds float64
+	// MaxActuations is the largest actuation count measured ("hundreds of
+	// times" in the paper; Fig. 5 spans a few hundred pulses).
+	MaxActuations int
+	// Step is the actuation-count spacing between measurements.
+	Step int
+	// NoisePF is the 1σ measurement noise of the oscilloscope-derived
+	// capacitance, in pF.
+	NoisePF float64
+}
+
+// DefaultBench returns the configuration for the given pulse duration used by
+// the Fig. 5 reproduction: 400 pulses, sampled every 20, with 0.05 pF of
+// measurement noise.
+func DefaultBench(pulseSeconds float64) BenchConfig {
+	return BenchConfig{PulseSeconds: pulseSeconds, MaxActuations: 400, Step: 20, NoisePF: 0.05}
+}
+
+// baseCapacitancePF returns the healthy electrode capacitance. A PCB
+// electrode with an FR-4/soldermask dielectric stack measures in the tens of
+// picofarads; we scale linearly with electrode area.
+func baseCapacitancePF(s ElectrodeSize) float64 {
+	return 4.0 * s.AreaMM2() // 16 pF for 2×2 mm², 64 pF for 4×4 mm²
+}
+
+// trappingSlopePF returns the per-actuation capacitance growth (pF per
+// pulse). Charge trapping accumulates with delivered charge, so the slope
+// scales with electrode area and grows superlinearly with pulse length — the
+// paper observed "much faster" growth for 5 s pulses (residual charge) than
+// for 1 s pulses.
+func trappingSlopePF(s ElectrodeSize, pulseSeconds float64) float64 {
+	return 0.004 * s.AreaMM2() * pulseSeconds * pulseSeconds
+}
+
+// CapacitanceTrace generates one synthetic Fig. 5 measurement series for an
+// electrode size: linear capacitance growth plus oscilloscope noise.
+func CapacitanceTrace(s ElectrodeSize, cfg BenchConfig, src *randx.Source) []CapacitancePoint {
+	if cfg.Step <= 0 || cfg.MaxActuations <= 0 {
+		panic(fmt.Sprintf("degrade: bad bench config %+v", cfg))
+	}
+	base := baseCapacitancePF(s)
+	slope := trappingSlopePF(s, cfg.PulseSeconds)
+	var out []CapacitancePoint
+	for n := 0; n <= cfg.MaxActuations; n += cfg.Step {
+		c := base + slope*float64(n) + src.Normal(0, cfg.NoisePF)
+		out = append(out, CapacitancePoint{N: n, PF: c})
+	}
+	return out
+}
+
+// ForcePoint is one derived measurement of relative EWOD force after N
+// actuations (Fig. 6 markers).
+type ForcePoint struct {
+	N     int
+	Force float64
+}
+
+// ForceTrace generates the measured relative-force series of Fig. 6 for an
+// electrode size: the true decay F̄(n) = τ^(2n/c) with the paper's fitted
+// constants, corrupted by multiplicative measurement noise (the force is
+// derived from a voltage measurement squared, so noise is relative).
+func ForceTrace(s ElectrodeSize, maxN, step int, relNoise float64, src *randx.Source) []ForcePoint {
+	if step <= 0 || maxN <= 0 {
+		panic("degrade: bad force trace config")
+	}
+	p := s.FittedParams()
+	var out []ForcePoint
+	for n := 0; n <= maxN; n += step {
+		f := p.Force(n) * (1 + src.Normal(0, relNoise))
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		out = append(out, ForcePoint{N: n, Force: f})
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package degrade
+
+import (
+	"math"
+	"testing"
+
+	"meda/internal/randx"
+	"meda/internal/stats"
+)
+
+func TestElectrodeSizeBasics(t *testing.T) {
+	if Electrode2mm.AreaMM2() != 4 || Electrode3mm.AreaMM2() != 9 || Electrode4mm.AreaMM2() != 16 {
+		t.Error("electrode areas wrong")
+	}
+	if Electrode3mm.String() != "3x3mm" {
+		t.Errorf("String = %q", Electrode3mm.String())
+	}
+	if ElectrodeSize(9).SideMM() != 0 || ElectrodeSize(9).String() != "unknown" {
+		t.Error("unknown size should be zero-valued")
+	}
+}
+
+func TestFittedParamsMatchPaper(t *testing.T) {
+	// Fig. 6: (τ2,c2)=(0.556,822.7), (τ3,c3)=(0.543,805.5), (τ4,c4)=(0.530,788.4).
+	cases := []struct {
+		size ElectrodeSize
+		tau  float64
+		c    float64
+	}{
+		{Electrode2mm, 0.556, 822.7},
+		{Electrode3mm, 0.543, 805.5},
+		{Electrode4mm, 0.530, 788.4},
+	}
+	for _, cse := range cases {
+		p := cse.size.FittedParams()
+		if p.Tau != cse.tau || p.C != cse.c {
+			t.Errorf("%v params = %+v, want (%v,%v)", cse.size, p, cse.tau, cse.c)
+		}
+		if err := p.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestCapacitanceTraceLinear reproduces the core finding of Fig. 5: the
+// capacitance grows linearly in the number of actuations, with high R².
+func TestCapacitanceTraceLinear(t *testing.T) {
+	src := randx.New(11)
+	for _, size := range ElectrodeSizes {
+		trace := CapacitanceTrace(size, DefaultBench(1), src.Split(size.String()))
+		xs := make([]float64, len(trace))
+		ys := make([]float64, len(trace))
+		for i, pt := range trace {
+			xs[i] = float64(pt.N)
+			ys[i] = pt.PF
+		}
+		fit, err := stats.FitLinear(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.Slope <= 0 {
+			t.Errorf("%v: capacitance slope %v not positive", size, fit.Slope)
+		}
+		if fit.R2 < 0.9 {
+			t.Errorf("%v: linearity R² = %v, want > 0.9", size, fit.R2)
+		}
+	}
+}
+
+// TestResidualChargeFaster reproduces Fig. 5(b): 5 s pulses degrade the
+// electrode much faster than 1 s pulses.
+func TestResidualChargeFaster(t *testing.T) {
+	src := randx.New(13)
+	slope := func(pulse float64) float64 {
+		trace := CapacitanceTrace(Electrode3mm, DefaultBench(pulse), src.Split("p"))
+		xs := make([]float64, len(trace))
+		ys := make([]float64, len(trace))
+		for i, pt := range trace {
+			xs[i] = float64(pt.N)
+			ys[i] = pt.PF
+		}
+		fit, err := stats.FitLinear(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fit.Slope
+	}
+	s1, s5 := slope(1), slope(5)
+	if s5 < 5*s1 {
+		t.Errorf("residual-charge slope %v not ≫ charge-trapping slope %v", s5, s1)
+	}
+}
+
+// TestCapacitanceScalesWithArea: larger electrodes have larger base
+// capacitance, consistent with C = εA/d.
+func TestCapacitanceScalesWithArea(t *testing.T) {
+	src := randx.New(17)
+	base := func(s ElectrodeSize) float64 {
+		return CapacitanceTrace(s, DefaultBench(1), src.Split(s.String()))[0].PF
+	}
+	if !(base(Electrode2mm) < base(Electrode3mm) && base(Electrode3mm) < base(Electrode4mm)) {
+		t.Error("base capacitance must increase with electrode area")
+	}
+}
+
+// TestForceTraceFit closes the Fig. 6 loop: generate measured force points,
+// fit the τ^(2n/c) model, and verify the recovered constants and R²_adj
+// match the paper's quality (R²_adj > 0.94).
+func TestForceTraceFit(t *testing.T) {
+	src := randx.New(19)
+	for _, size := range ElectrodeSizes {
+		truth := size.FittedParams()
+		trace := ForceTrace(size, 1500, 50, 0.02, src.Split(size.String()))
+		ns := make([]float64, len(trace))
+		fs := make([]float64, len(trace))
+		for i, pt := range trace {
+			ns[i] = float64(pt.N)
+			fs[i] = pt.Force
+		}
+		fit, err := stats.FitForceModel(ns, fs, truth.Tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.R2Adj <= 0.94 {
+			t.Errorf("%v: R²_adj = %v, paper reports > 0.94", size, fit.R2Adj)
+		}
+		if math.Abs(fit.C-truth.C)/truth.C > 0.05 {
+			t.Errorf("%v: recovered c = %v, want ≈%v", size, fit.C, truth.C)
+		}
+	}
+}
+
+func TestForceTraceBounded(t *testing.T) {
+	trace := ForceTrace(Electrode2mm, 3000, 100, 0.1, randx.New(23))
+	for _, pt := range trace {
+		if pt.Force < 0 || pt.Force > 1 {
+			t.Fatalf("force %v out of [0,1] at n=%d", pt.Force, pt.N)
+		}
+	}
+	if trace[0].Force < 0.9 {
+		t.Errorf("fresh electrode force = %v, want ≈1", trace[0].Force)
+	}
+}
+
+func TestBenchConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad bench config")
+		}
+	}()
+	CapacitanceTrace(Electrode2mm, BenchConfig{Step: 0, MaxActuations: 10}, randx.New(1))
+}

@@ -1,0 +1,305 @@
+// Package device exposes a simulated MEDA biochip over a network socket —
+// the cyber-physical interface of the paper's Fig. 13/14, where a controller
+// (the synthesizer/scheduler) talks to the chip one operational cycle at a
+// time: write an actuation, read back droplet positions and the health
+// matrix. A controller written against Conn can be pointed at cmd/medad for
+// simulation or, in principle, at real hardware speaking the same protocol.
+//
+// The protocol is newline-delimited JSON. Each request performs at most one
+// operational cycle:
+//
+//	{"op":"info"}                                → chip dimensions, health bits
+//	{"op":"dispense","rect":[16,1,19,4]}         → droplet id
+//	{"op":"act","id":1,"action":"aNE"}           → one cycle; new droplet rect
+//	{"op":"hold","id":1}                         → one cycle holding in place
+//	{"op":"health","rect":[1,1,20,10]}           → observed H over a region
+//	{"op":"remove","id":1}                       → droplet leaves the chip
+//	{"op":"cycle"}                               → operational-cycle counter
+package device
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"meda/internal/action"
+	"meda/internal/chip"
+	"meda/internal/geom"
+	"meda/internal/randx"
+)
+
+// Request is one protocol message from controller to chip.
+type Request struct {
+	Op     string `json:"op"`
+	ID     int    `json:"id,omitempty"`
+	Rect   [4]int `json:"rect,omitempty"`
+	Action string `json:"action,omitempty"`
+}
+
+// Response is the chip's reply.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Info fields.
+	W          int `json:"w,omitempty"`
+	H          int `json:"h,omitempty"`
+	HealthBits int `json:"bits,omitempty"`
+	// Droplet fields.
+	ID   int    `json:"id,omitempty"`
+	Rect [4]int `json:"rect,omitempty"`
+	// Health holds row-major codes for the requested region (north row
+	// first is NOT implied; rows run south→north, x fastest).
+	Health []int `json:"health,omitempty"`
+	Cycle  int   `json:"cycle,omitempty"`
+}
+
+func toArr(r geom.Rect) [4]int  { return [4]int{r.XA, r.YA, r.XB, r.YB} }
+func toRect(a [4]int) geom.Rect { return geom.Rect{XA: a[0], YA: a[1], XB: a[2], YB: a[3]} }
+
+// Server hosts one biochip for any number of sequential controller
+// connections. All droplet and wear state is shared — reconnecting
+// controllers see the same chip, like plugging back into hardware.
+type Server struct {
+	mu       sync.Mutex
+	chip     *chip.Chip
+	src      *randx.Source
+	cycle    int
+	nextID   int
+	droplets map[int]geom.Rect
+}
+
+// NewServer wraps a chip (with its nature randomness) as a device.
+func NewServer(c *chip.Chip, src *randx.Source) *Server {
+	return &Server{chip: c, src: src, nextID: 1, droplets: map[int]geom.Rect{}}
+}
+
+// Serve accepts controller connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp = Response{Error: fmt.Sprintf("bad request: %v", err)}
+		} else {
+			resp = s.apply(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// apply executes one request under the device lock.
+func (s *Server) apply(req Request) Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case "info":
+		return Response{OK: true, W: s.chip.W(), H: s.chip.H(), HealthBits: s.chip.HealthBits(), Cycle: s.cycle}
+
+	case "cycle":
+		return Response{OK: true, Cycle: s.cycle}
+
+	case "dispense":
+		r := toRect(req.Rect)
+		if !r.Valid() || !s.chip.Bounds().ContainsRect(r) {
+			return Response{Error: fmt.Sprintf("dispense rect %v off-chip", r)}
+		}
+		for id, d := range s.droplets {
+			if d.Expand(1).Overlaps(r) {
+				return Response{Error: fmt.Sprintf("dispense area occupied by droplet %d", id)}
+			}
+		}
+		id := s.nextID
+		s.nextID++
+		s.droplets[id] = r
+		return Response{OK: true, ID: id, Rect: toArr(r)}
+
+	case "act", "hold":
+		d, ok := s.droplets[req.ID]
+		if !ok {
+			return Response{Error: fmt.Sprintf("no droplet %d", req.ID)}
+		}
+		if req.Op == "hold" {
+			s.runCycle(map[int]geom.Rect{req.ID: d})
+			return Response{OK: true, ID: req.ID, Rect: toArr(d), Cycle: s.cycle}
+		}
+		a, err := actionByName(req.Action)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		target := a.Apply(d)
+		if !s.chip.Bounds().ContainsRect(target) {
+			return Response{Error: fmt.Sprintf("action %s would leave the chip", a)}
+		}
+		for id, o := range s.droplets {
+			if id != req.ID && o.Expand(1).Overlaps(target) {
+				return Response{Error: fmt.Sprintf("action %s violates the margin of droplet %d", a, id)}
+			}
+		}
+		s.runCycle(map[int]geom.Rect{req.ID: target})
+		outs := action.Outcomes(d, a, s.chip.TrueForceField())
+		weights := make([]float64, len(outs))
+		for i, o := range outs {
+			weights[i] = o.P
+		}
+		nd := outs[s.src.Choose(weights)].Droplet
+		s.droplets[req.ID] = nd
+		return Response{OK: true, ID: req.ID, Rect: toArr(nd), Cycle: s.cycle}
+
+	case "health":
+		r := toRect(req.Rect)
+		clipped, ok := r.Intersect(s.chip.Bounds())
+		if !ok {
+			return Response{Error: fmt.Sprintf("health region %v off-chip", r)}
+		}
+		var codes []int
+		for y := clipped.YA; y <= clipped.YB; y++ {
+			for x := clipped.XA; x <= clipped.XB; x++ {
+				codes = append(codes, s.chip.Health(x, y))
+			}
+		}
+		return Response{OK: true, Rect: toArr(clipped), Health: codes}
+
+	case "remove":
+		if _, ok := s.droplets[req.ID]; !ok {
+			return Response{Error: fmt.Sprintf("no droplet %d", req.ID)}
+		}
+		delete(s.droplets, req.ID)
+		return Response{OK: true, ID: req.ID}
+
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// runCycle applies one operational cycle's actuations: the moving droplet's
+// target pattern plus holds for every other droplet (all on-chip droplets
+// must be actuated every cycle).
+func (s *Server) runCycle(intents map[int]geom.Rect) {
+	patterns := make([]geom.Rect, 0, len(s.droplets))
+	for id, d := range s.droplets {
+		if t, ok := intents[id]; ok {
+			patterns = append(patterns, t)
+		} else {
+			patterns = append(patterns, d)
+		}
+	}
+	s.chip.Actuate(patterns...)
+	s.cycle++
+}
+
+func actionByName(name string) (action.Action, error) {
+	a, ok := action.FromName(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown action %q", name)
+	}
+	return a, nil
+}
+
+// Conn is a controller-side connection to a device.
+type Conn struct {
+	c   net.Conn
+	sc  *bufio.Scanner
+	enc *json.Encoder
+}
+
+// Dial connects to a device server.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// NewConn wraps an established transport (e.g. one end of net.Pipe).
+func NewConn(c net.Conn) *Conn {
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Conn{c: c, sc: sc, enc: json.NewEncoder(c)}
+}
+
+// Close closes the transport.
+func (c *Conn) Close() error { return c.c.Close() }
+
+func (c *Conn) roundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, io.ErrUnexpectedEOF
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return Response{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("device: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Info returns the chip dimensions and health-sensing resolution.
+func (c *Conn) Info() (w, h, bits int, err error) {
+	resp, err := c.roundTrip(Request{Op: "info"})
+	return resp.W, resp.H, resp.HealthBits, err
+}
+
+// Dispense places a droplet and returns its id.
+func (c *Conn) Dispense(r geom.Rect) (int, error) {
+	resp, err := c.roundTrip(Request{Op: "dispense", Rect: toArr(r)})
+	return resp.ID, err
+}
+
+// Act issues one microfluidic action for a droplet and returns its new
+// position (which may be unchanged — the move is probabilistic).
+func (c *Conn) Act(id int, a action.Action) (geom.Rect, error) {
+	resp, err := c.roundTrip(Request{Op: "act", ID: id, Action: a.String()})
+	return toRect(resp.Rect), err
+}
+
+// Hold actuates the droplet in place for one cycle.
+func (c *Conn) Hold(id int) error {
+	_, err := c.roundTrip(Request{Op: "hold", ID: id})
+	return err
+}
+
+// Health reads the observed health codes over a region (row-major,
+// south-to-north, clipped to the chip; the clipped region is returned).
+func (c *Conn) Health(region geom.Rect) (geom.Rect, []int, error) {
+	resp, err := c.roundTrip(Request{Op: "health", Rect: toArr(region)})
+	return toRect(resp.Rect), resp.Health, err
+}
+
+// Remove takes a droplet off the chip (output/waste).
+func (c *Conn) Remove(id int) error {
+	_, err := c.roundTrip(Request{Op: "remove", ID: id})
+	return err
+}
+
+// Cycle returns the device's operational-cycle counter.
+func (c *Conn) Cycle() (int, error) {
+	resp, err := c.roundTrip(Request{Op: "cycle"})
+	return resp.Cycle, err
+}

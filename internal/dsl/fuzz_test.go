@@ -1,0 +1,27 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the assay parser: it must never panic,
+// and anything it accepts must be a valid, planner-ready graph.
+func FuzzParse(f *testing.F) {
+	f.Add(dilution)
+	f.Add("assay x\na = dis 16\nout a\n")
+	f.Add("a = dis 16\nl, r = spt a\nout l\nout r")
+	f.Add("x = mix y z")
+	f.Add("= dis 16")
+	f.Add("assay\n")
+	f.Add(strings.Repeat("a = dis 16\n", 4))
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput:\n%s", verr, src)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"io"
+
+	"meda/internal/assay"
+	"meda/internal/chip"
+	"meda/internal/randx"
+	"meda/internal/route"
+	"meda/internal/sched"
+	"meda/internal/sim"
+	"meda/internal/stats"
+	"meda/internal/synth"
+)
+
+// HealthBitsConfig configures the sensing-resolution ablation: the paper's
+// reliability model "is valid for any general b" (Sec. IV-B); this
+// experiment quantifies what the extra bits buy during chip reuse.
+type HealthBitsConfig struct {
+	Seed   uint64
+	Bits   []int
+	Trials int
+	// Executions per chip; later runs show the benefit of earlier
+	// degradation detection.
+	Executions int
+	Bench      assay.Benchmark
+	Area       int
+	KMax       int
+}
+
+// DefaultHealthBitsConfig sweeps b ∈ {1, 2, 3, 4} over serial-dilution
+// reuse.
+func DefaultHealthBitsConfig(seed uint64) HealthBitsConfig {
+	return HealthBitsConfig{
+		Seed: seed, Bits: []int{1, 2, 3, 4},
+		Trials: 6, Executions: 10,
+		Bench: assay.SerialDilution, Area: 16, KMax: 2000,
+	}
+}
+
+// HealthBitsRow is one sensing resolution's outcome.
+type HealthBitsRow struct {
+	Bits int
+	// MeanLateCycles ± SD of the final execution's cycle count.
+	MeanLateCycles float64
+	SD             float64
+	// CompletedRuns is the mean number of executions completed.
+	CompletedRuns float64
+}
+
+// HealthBits runs the sweep: identical chips per trial across b values
+// (sensing resolution changes only what the controller observes).
+func HealthBits(cfg HealthBitsConfig) ([]HealthBitsRow, error) {
+	var out []HealthBitsRow
+	for _, bits := range cfg.Bits {
+		late := make([]float64, cfg.Trials)
+		completed := make([]float64, cfg.Trials)
+		bits := bits
+		err := parallelTrials(cfg.Trials, func(trial int) error {
+			src := randx.New(cfg.Seed).SplitN("trial", trial)
+			chipCfg := chip.Default()
+			chipCfg.HealthBits = bits
+			c, err := chip.New(chipCfg, src.Split("chip"))
+			if err != nil {
+				return err
+			}
+			a := cfg.Bench.Build(assay.Layout{W: chipCfg.W, H: chipCfg.H}, cfg.Area)
+			plan, err := route.Compile(a, chipCfg.W, chipCfg.H)
+			if err != nil {
+				return err
+			}
+			simCfg := sim.DefaultConfig()
+			simCfg.KMax = cfg.KMax
+			runner := sim.NewRunner(simCfg, c, sched.NewAdaptive(), src.Split("sim"))
+			for e := 0; e < cfg.Executions; e++ {
+				exec, err := runner.Execute(plan)
+				if err != nil {
+					return err
+				}
+				if !exec.Success {
+					break
+				}
+				completed[trial]++
+				late[trial] = float64(exec.Cycles)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		mean, sd := stats.MeanStd(late)
+		out = append(out, HealthBitsRow{
+			Bits: bits, MeanLateCycles: mean, SD: sd,
+			CompletedRuns: stats.Mean(completed),
+		})
+	}
+	return out, nil
+}
+
+// RenderHealthBits writes the sensing-resolution table.
+func RenderHealthBits(w io.Writer, rows []HealthBitsRow) {
+	fprintf(w, "Extension — health-sensing resolution b (adaptive router, chip reuse)\n")
+	tw := newTable(w)
+	fprintf(tw, "b\tfinal-run cycles\tSD\tcompleted runs\n")
+	for _, r := range rows {
+		fprintf(tw, "%d\t%.0f\t%.0f\t%.1f\n", r.Bits, r.MeanLateCycles, r.SD, r.CompletedRuns)
+	}
+	tw.Flush()
+}
+
+// AlphabetRow is one action-alphabet variant's routing cost on a uniformly
+// worn field (the DESIGN.md "action alphabet" ablation).
+type AlphabetRow struct {
+	Name           string
+	ExpectedCycles float64
+	States         int
+	Choices        int
+}
+
+// Alphabet quantifies the value of the richer action alphabet on a worn
+// 20×20 routing job.
+func Alphabet() ([]AlphabetRow, error) {
+	worn := func(x, y int) float64 { return 0.81 }
+	rj := route.RJ{
+		Start:  geomRect(1, 1, 4, 4),
+		Goal:   geomRect(17, 17, 20, 20),
+		Hazard: geomRect(1, 1, 20, 20),
+	}
+	variants := []struct {
+		name                   string
+		double, ordinal, morph bool
+	}{
+		{"cardinal-only", false, false, false},
+		{"+ordinal", false, true, false},
+		{"+double-step", true, true, false},
+		{"+morphing", true, true, true},
+	}
+	var out []AlphabetRow
+	for _, v := range variants {
+		opt := synth.DefaultOptions()
+		opt.Model.AllowDouble = v.double
+		opt.Model.AllowOrdinal = v.ordinal
+		opt.Model.AllowMorph = v.morph
+		res, err := synth.Synthesize(rj, worn, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AlphabetRow{
+			Name:           v.name,
+			ExpectedCycles: res.Value,
+			States:         res.Stats.States,
+			Choices:        res.Stats.Choices,
+		})
+	}
+	return out, nil
+}
+
+// RenderAlphabet writes the action-alphabet table.
+func RenderAlphabet(w io.Writer, rows []AlphabetRow) {
+	fprintf(w, "Extension — action-alphabet ablation (worn 20×20 job, Rmin)\n")
+	tw := newTable(w)
+	fprintf(tw, "alphabet\texpected cycles\t#states\t#choices\n")
+	for _, r := range rows {
+		fprintf(tw, "%s\t%.2f\t%d\t%d\n", r.Name, r.ExpectedCycles, r.States, r.Choices)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"meda/internal/assay"
+)
+
+func TestAlphabetAblation(t *testing.T) {
+	rows, err := Alphabet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Richer alphabets can only help (expected cycles non-increasing).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ExpectedCycles > rows[i-1].ExpectedCycles+1e-9 {
+			t.Errorf("%s (%v) worse than %s (%v)",
+				rows[i].Name, rows[i].ExpectedCycles, rows[i-1].Name, rows[i-1].ExpectedCycles)
+		}
+	}
+	// And they grow the model.
+	if rows[3].States <= rows[2].States {
+		t.Error("morphing must enlarge the state space")
+	}
+	var buf bytes.Buffer
+	RenderAlphabet(&buf, rows)
+	if !strings.Contains(buf.String(), "cardinal-only") {
+		t.Error("render missing variant")
+	}
+}
+
+func TestHealthBitsSmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DefaultHealthBitsConfig(9)
+	cfg.Bits = []int{1, 4}
+	cfg.Trials = 2
+	cfg.Executions = 3
+	rows, err := HealthBits(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CompletedRuns <= 0 || r.MeanLateCycles <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	RenderHealthBits(&buf, rows)
+	if !strings.Contains(buf.String(), "final-run cycles") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRecoverySmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DefaultRecoveryConfig(10)
+	cfg.Assays = []assay.Benchmark{assay.CovidRAT}
+	cfg.Trials = 3
+	cfg.KMax = 400
+	rows, err := Recovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // three controllers × one assay
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]RecoveryRow{}
+	for _, r := range rows {
+		if r.SuccessRate < 0 || r.SuccessRate > 1 {
+			t.Errorf("bad success rate: %+v", r)
+		}
+		byName[r.Controller] = r
+	}
+	for _, name := range []string{"baseline", "reactive", "adaptive"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("controller %s missing", name)
+		}
+	}
+	// Only the reactive controller rolls back.
+	if byName["baseline"].MeanRollbacks != 0 || byName["adaptive"].MeanRollbacks != 0 {
+		t.Error("non-reactive controllers must not roll back")
+	}
+	var buf bytes.Buffer
+	RenderRecovery(&buf, rows)
+	if !strings.Contains(buf.String(), "reactive") {
+		t.Error("render missing controller")
+	}
+}
+
+func TestParallelTrialsOrderIndependence(t *testing.T) {
+	got := make([]int, 16)
+	err := parallelTrials(16, func(i int) error {
+		got[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+func TestParallelTrialsPropagatesError(t *testing.T) {
+	err := parallelTrials(8, func(i int) error {
+		if i == 5 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != errBoom {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errBoom = &boomErr{}
+
+type boomErr struct{}
+
+func (*boomErr) Error() string { return "boom" }
+
+func TestTimeToResult(t *testing.T) {
+	rows, err := TimeToResult(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cycles <= 0 || r.WallClock <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+		// 100 ms actuation dwell per cycle dominates.
+		if r.WallClock < time.Duration(r.Cycles)*100*time.Millisecond {
+			t.Errorf("%s: wall clock %v below actuation floor", r.Assay, r.WallClock)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTTR(&buf, rows)
+	if !strings.Contains(buf.String(), "wall clock") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,303 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"meda/internal/assay"
+	"meda/internal/circuit"
+	"meda/internal/geom"
+)
+
+func TestFig2Codes(t *testing.T) {
+	res := Fig2(100)
+	if res.Codes[circuit.Healthy] != "11" ||
+		res.Codes[circuit.PartiallyDegraded] != "01" ||
+		res.Codes[circuit.CompletelyDegraded] != "00" {
+		t.Errorf("codes = %v", res.Codes)
+	}
+	if math.Abs(res.AddedClockNS-res.OriginalClockNS-5) > 0.01 {
+		t.Errorf("DFF offset = %v ns, want 5", res.AddedClockNS-res.OriginalClockNS)
+	}
+	if len(res.Rows) != 100 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	// Crossing times ordered healthy < partial < degraded.
+	h := res.CrossingNS[circuit.Healthy]
+	p := res.CrossingNS[circuit.PartiallyDegraded]
+	d := res.CrossingNS[circuit.CompletelyDegraded]
+	if !(h < p && p < d) {
+		t.Errorf("crossings not ordered: %v %v %v", h, p, d)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig. 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig5Trends(t *testing.T) {
+	series, err := Fig5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 { // 2 pulse lengths × 3 sizes
+		t.Fatalf("series = %d, want 6", len(series))
+	}
+	slopes := map[float64]map[string]float64{1: {}, 5: {}}
+	for _, s := range series {
+		if s.Fit.Slope <= 0 {
+			t.Errorf("%v pulse %v: non-positive slope", s.Size, s.PulseSeconds)
+		}
+		if s.Fit.R2 < 0.85 {
+			t.Errorf("%v pulse %v: R² = %v", s.Size, s.PulseSeconds, s.Fit.R2)
+		}
+		slopes[s.PulseSeconds][s.Size.String()] = s.Fit.Slope
+	}
+	// Residual charge (5 s) degrades much faster than charge trapping (1 s).
+	for size, s1 := range slopes[1] {
+		if slopes[5][size] < 5*s1 {
+			t.Errorf("%s: 5 s slope %v not ≫ 1 s slope %v", size, slopes[5][size], s1)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig5(&buf, series)
+	if !strings.Contains(buf.String(), "charge trapping") {
+		t.Error("render missing part label")
+	}
+}
+
+func TestFig6FitQuality(t *testing.T) {
+	series, err := Fig6(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3", len(series))
+	}
+	for _, s := range series {
+		if s.Fit.R2Adj <= 0.94 {
+			t.Errorf("%v: R²_adj = %v, paper reports > 0.94", s.Size, s.Fit.R2Adj)
+		}
+		if math.Abs(s.Fit.C-s.PaperC)/s.PaperC > 0.05 {
+			t.Errorf("%v: fitted c = %v, paper %v", s.Size, s.Fit.C, s.PaperC)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig6(&buf, series)
+	if !strings.Contains(buf.String(), "R²_adj") {
+		t.Error("render missing fit quality")
+	}
+}
+
+func TestFig7Staircase(t *testing.T) {
+	series := Fig7(DefaultFig7Configs(), 1000, 10)
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		top := 1<<uint(s.Config.B) - 1
+		if s.H[0] != top {
+			t.Errorf("fresh health = %d, want %d", s.H[0], top)
+		}
+		for i := 1; i < len(s.N); i++ {
+			if s.D[i] > s.D[i-1] {
+				t.Error("D must be non-increasing")
+			}
+			if s.H[i] > s.H[i-1] {
+				t.Error("H must be non-increasing")
+			}
+		}
+		// The observed health is the quantized degradation at all samples.
+		for i := range s.N {
+			want := int(math.Floor(float64(int(1)<<uint(s.Config.B)) * s.D[i]))
+			if want > top {
+				want = top
+			}
+			if s.H[i] != want {
+				t.Errorf("H(%d) = %d, want %d", s.N[i], s.H[i], want)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig7(&buf, series)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestTableIVMatchesPaper(t *testing.T) {
+	rows, err := TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 1 + 2 + 1 + 1 = 6 routing jobs.
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	find := func(job string) TableIVRow {
+		for _, r := range rows {
+			if r.MO+"/"+r.Job == job {
+				return r
+			}
+		}
+		t.Fatalf("job %s missing", job)
+		return TableIVRow{}
+	}
+	r := find("M1/RJ0.0")
+	if r.Goal != (geom.Rect{XA: 16, YA: 1, XB: 19, YB: 4}) || r.Hazard != (geom.Rect{XA: 13, YA: 1, XB: 22, YB: 7}) {
+		t.Errorf("M1 row = %+v", r)
+	}
+	r = find("M4/RJ3.0")
+	if r.Start != (geom.Rect{XA: 8, YA: 14, XB: 13, YB: 18}) ||
+		r.Goal != (geom.Rect{XA: 38, YA: 14, XB: 43, YB: 18}) ||
+		r.Hazard != (geom.Rect{XA: 5, YA: 11, XB: 46, YB: 21}) {
+		t.Errorf("M4 row = %+v", r)
+	}
+	if r.Size != "30 (6×5)" {
+		t.Errorf("M4 size = %q, want 6×5 for area 32", r.Size)
+	}
+	var buf bytes.Buffer
+	RenderTableIV(&buf, rows)
+	if !strings.Contains(buf.String(), "RJ3.0") {
+		t.Error("render missing job")
+	}
+}
+
+func TestTableVStateCounts(t *testing.T) {
+	rows, err := TableV(TableVConfig{Areas: []int{10, 20}, Droplets: []int{3, 4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int]int{
+		{10, 3}: 67, {10, 4}: 52, {10, 5}: 39, {10, 6}: 28,
+		{20, 3}: 327, {20, 4}: 292, {20, 5}: 259, {20, 6}: 228,
+	}
+	for _, r := range rows {
+		if w := want[[2]int{r.Area, r.Droplet}]; r.States != w {
+			t.Errorf("area %d droplet %d: states = %d, want %d", r.Area, r.Droplet, r.States, w)
+		}
+		if r.Total <= 0 {
+			t.Error("non-positive total time")
+		}
+	}
+	var buf bytes.Buffer
+	RenderTableV(&buf, rows)
+	if !strings.Contains(buf.String(), "#states") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig3SmallRun(t *testing.T) {
+	cfg := DefaultFig3Config(3)
+	cfg.Assays = []assay.Benchmark{assay.ChIP}
+	cfg.Sides = []int{3, 6}
+	cfg.MaxPairs = 800
+	points, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	byKey := map[[2]int]float64{}
+	for _, p := range points {
+		if p.Correlation < -1 || p.Correlation > 1 {
+			t.Errorf("correlation out of range: %+v", p)
+		}
+		if p.Pairs == 0 {
+			t.Errorf("no pairs for %+v", p)
+		}
+		byKey[[2]int{p.Side, p.Distance}] = p.Correlation
+	}
+	// Headline trends: correlation decreases with distance and increases
+	// with droplet size.
+	if !(byKey[[2]int{3, 1}] > byKey[[2]int{3, 5}]) {
+		t.Errorf("3×3: corr(d=1)=%v should exceed corr(d=5)=%v",
+			byKey[[2]int{3, 1}], byKey[[2]int{3, 5}])
+	}
+	if !(byKey[[2]int{6, 1}] > byKey[[2]int{3, 1}]) {
+		t.Errorf("corr at d=1: 6×6 (%v) should exceed 3×3 (%v)",
+			byKey[[2]int{6, 1}], byKey[[2]int{3, 1}])
+	}
+	var buf bytes.Buffer
+	RenderFig3(&buf, points)
+	if !strings.Contains(buf.String(), "d=1") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig15SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DefaultFig15Config(4)
+	cfg.Assays = []assay.Benchmark{assay.CovidRAT}
+	cfg.KMaxSweep = []int{60, 400}
+	cfg.Trials = 2
+	cfg.Executions = 2
+	points, err := Fig15(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*2 { // 2 kmax × 2 routers
+		t.Fatalf("points = %d", len(points))
+	}
+	pos := map[string]map[int]float64{}
+	for _, p := range points {
+		if p.PoS < 0 || p.PoS > 1 {
+			t.Errorf("PoS out of range: %+v", p)
+		}
+		if pos[p.Router] == nil {
+			pos[p.Router] = map[int]float64{}
+		}
+		pos[p.Router][p.KMax] = p.PoS
+	}
+	// A larger budget can only help.
+	for router, m := range pos {
+		if m[400] < m[60] {
+			t.Errorf("%s: PoS(400)=%v < PoS(60)=%v", router, m[400], m[60])
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig15(&buf, points)
+	if !strings.Contains(buf.String(), "k≤400") {
+		t.Error("render missing kmax column")
+	}
+}
+
+func TestFig16SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DefaultFig16Config(5)
+	cfg.Assays = []assay.Benchmark{assay.CovidRAT}
+	cfg.Trials = 2
+	cfg.Executions = 2
+	cfg.KMax = 400
+	rows, err := Fig16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*2 { // 2 fault modes × 2 routers
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mean <= 0 || r.Mean > 400 {
+			t.Errorf("implausible mean cycles: %+v", r)
+		}
+		if r.Executions == 0 {
+			t.Errorf("no executions: %+v", r)
+		}
+		if r.MeanExecsToFirstFailure < 1 {
+			t.Errorf("bad first-failure stat: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig16(&buf, rows)
+	if !strings.Contains(buf.String(), "mean k") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"meda/internal/assay"
+	"meda/internal/chip"
+	"meda/internal/randx"
+	"meda/internal/route"
+	"meda/internal/sched"
+	"meda/internal/sim"
+)
+
+// Fig15Config configures the probability-of-successful-completion sweep of
+// Sec. VII-B.
+type Fig15Config struct {
+	Seed uint64
+	// Chip is the biochip configuration; the paper uses the fabricated
+	// 30×60 array with c ~ U(200,500) and τ ~ U(0.5,0.9).
+	Chip chip.Config
+	// KMaxSweep lists the time-to-result limits (operational cycles).
+	KMaxSweep []int
+	// Trials is the number of independent chips per (assay, k_max) point.
+	Trials int
+	// Executions is the number of consecutive executions per chip
+	// (biochip reuse; the paper runs multiple assays per CMOS chip).
+	Executions int
+	// Assays are the protocols swept.
+	Assays []assay.Benchmark
+	// Area is the dispensed droplet area.
+	Area int
+}
+
+// DefaultFig15Config mirrors the paper's setup at a laptop-scale trial
+// count. Executions = 20 reflects the premise of Sec. VII-B: CMOS biochips
+// are reused for as many bioassay runs as possible, so the probability of
+// success is estimated over a chip's whole service life.
+func DefaultFig15Config(seed uint64) Fig15Config {
+	return Fig15Config{
+		Seed:       seed,
+		Chip:       chip.Default(),
+		KMaxSweep:  []int{250, 300, 350, 400, 500, 600, 700},
+		Trials:     5,
+		Executions: 20,
+		Assays:     assay.EvaluationBenchmarks,
+		Area:       16,
+	}
+}
+
+// Fig15Point is one curve sample: the probability that an execution of the
+// assay completes within KMax cycles, under one router.
+type Fig15Point struct {
+	Assay  string
+	Router string
+	KMax   int
+	PoS    float64
+	// Runs is the number of executions behind the estimate.
+	Runs int
+}
+
+// Fig15 sweeps k_max for both routers over all assays. For fairness, the
+// baseline and adaptive routers face identical chips (same per-trial seeds).
+func Fig15(cfg Fig15Config) ([]Fig15Point, error) {
+	var out []Fig15Point
+	for _, bench := range cfg.Assays {
+		plan, err := compilePlan(cfg.Chip, bench, cfg.Area)
+		if err != nil {
+			return nil, err
+		}
+		for _, kmax := range cfg.KMaxSweep {
+			for _, router := range []string{"baseline", "adaptive"} {
+				type tally struct{ successes, runs int }
+				tallies := make([]tally, cfg.Trials)
+				kmax, router := kmax, router
+				err := parallelTrials(cfg.Trials, func(trial int) error {
+					src := randx.New(cfg.Seed).
+						Split(bench.String()).SplitN("trial", trial)
+					c, err := chip.New(cfg.Chip, src.Split("chip"))
+					if err != nil {
+						return err
+					}
+					simCfg := sim.DefaultConfig()
+					simCfg.KMax = kmax
+					runner := sim.NewRunner(simCfg, c, newRouter(router), src.Split("sim"))
+					for e := 0; e < cfg.Executions; e++ {
+						exec, err := runner.Execute(plan)
+						if err != nil {
+							return err
+						}
+						tallies[trial].runs++
+						if exec.Success {
+							tallies[trial].successes++
+						} else {
+							// The chip is too degraded (or the budget too
+							// small); later executions on this chip
+							// cannot do better.
+							tallies[trial].runs += cfg.Executions - e - 1
+							break
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				successes, runs := 0, 0
+				for _, t := range tallies {
+					successes += t.successes
+					runs += t.runs
+				}
+				out = append(out, Fig15Point{
+					Assay: bench.String(), Router: router, KMax: kmax,
+					PoS: float64(successes) / float64(runs), Runs: runs,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func compilePlan(cc chip.Config, bench assay.Benchmark, area int) (*route.Plan, error) {
+	a := bench.Build(assay.Layout{W: cc.W, H: cc.H}, area)
+	plan, err := route.Compile(a, cc.W, cc.H)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %v: %w", bench, err)
+	}
+	return plan, nil
+}
+
+func newRouter(name string) sched.Router {
+	if name == "adaptive" {
+		return sched.NewAdaptive()
+	}
+	return sched.NewBaseline()
+}
+
+// RenderFig15 writes the PoS curves.
+func RenderFig15(w io.Writer, points []Fig15Point) {
+	fprintf(w, "Fig. 15 — probability of successful completion vs k_max\n")
+	tw := newTable(w)
+	// Collect k_max values in order.
+	var kmaxes []int
+	seen := map[int]bool{}
+	for _, p := range points {
+		if !seen[p.KMax] {
+			seen[p.KMax] = true
+			kmaxes = append(kmaxes, p.KMax)
+		}
+	}
+	fprintf(tw, "assay\trouter")
+	for _, k := range kmaxes {
+		fprintf(tw, "\tk≤%d", k)
+	}
+	fprintf(tw, "\n")
+	type key struct{ assay, router string }
+	rows := map[key]map[int]float64{}
+	var order []key
+	for _, p := range points {
+		k := key{p.Assay, p.Router}
+		if _, ok := rows[k]; !ok {
+			rows[k] = map[int]float64{}
+			order = append(order, k)
+		}
+		rows[k][p.KMax] = p.PoS
+	}
+	for _, k := range order {
+		fprintf(tw, "%s\t%s", k.assay, k.router)
+		for _, km := range kmaxes {
+			fprintf(tw, "\t%.2f", rows[k][km])
+		}
+		fprintf(tw, "\n")
+	}
+	tw.Flush()
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"io"
+
+	"meda/internal/assay"
+	"meda/internal/chip"
+	"meda/internal/degrade"
+	"meda/internal/randx"
+	"meda/internal/sched"
+	"meda/internal/sim"
+	"meda/internal/stats"
+)
+
+// Fig16Config configures the fault-injection evaluation of Sec. VII-C.
+type Fig16Config struct {
+	Seed uint64
+	Chip chip.Config
+	// FaultFraction is the fraction of MCs that are faulty (hard-failing).
+	FaultFraction float64
+	// FailAfterLo/Hi bound the random actuation count at which a faulty
+	// MC dies.
+	FailAfterLo, FailAfterHi int
+	// Trials is the number of chips per configuration; each trial runs
+	// until Executions successes or the first abort (k > KMax).
+	Trials     int
+	Executions int
+	KMax       int
+	Assays     []assay.Benchmark
+	Area       int
+}
+
+// DefaultFig16Config mirrors Sec. VII-C (k_max = 1000, five executions per
+// trial, uniform and clustered fault modes) at a laptop-scale trial count.
+func DefaultFig16Config(seed uint64) Fig16Config {
+	return Fig16Config{
+		Seed:          seed,
+		Chip:          chip.Default(),
+		FaultFraction: 0.12,
+		FailAfterLo:   10,
+		FailAfterHi:   120,
+		Trials:        8,
+		Executions:    5,
+		KMax:          1000,
+		Assays:        assay.EvaluationBenchmarks,
+		Area:          16,
+	}
+}
+
+// Fig16Row is one bar of Fig. 16: the mean (± sample SD) number of cycles
+// per execution for an assay under a router and fault-injection mode, plus
+// the mean number of executions to first failure.
+type Fig16Row struct {
+	Assay     string
+	Router    string
+	FaultMode string
+	Mean      float64
+	SD        float64
+	// CILo/CIHi bound the mean with a 95% percentile-bootstrap interval
+	// (cycle counts are far from normal: aborts pile up at KMax).
+	CILo, CIHi float64
+	// Executions is the total number of executions behind the statistics.
+	Executions int
+	// MeanExecsToFirstFailure averages the 1-based index of the first
+	// aborted execution; trials with no failure contribute
+	// Executions+1 (a lower bound, as in "greater than five").
+	MeanExecsToFirstFailure float64
+}
+
+// Fig16 runs the fault-injection comparison: both routers, both fault
+// modes, all assays, identical chips per (trial, mode) across routers.
+func Fig16(cfg Fig16Config) ([]Fig16Row, error) {
+	modes := []degrade.FaultMode{degrade.FaultUniform, degrade.FaultClustered}
+	var out []Fig16Row
+	for _, bench := range cfg.Assays {
+		for _, mode := range modes {
+			for _, router := range []string{"baseline", "adaptive"} {
+				router := router
+				trialResults := make([]sim.TrialResult, cfg.Trials)
+				err := parallelTrials(cfg.Trials, func(trial int) error {
+					tc := sim.TrialConfig{
+						Sim:        sim.DefaultConfig(),
+						Chip:       cfg.Chip,
+						Executions: cfg.Executions,
+						Area:       cfg.Area,
+						// Identical chip per (assay, mode, trial) across
+						// routers: a fair head-to-head.
+						Seed: randx.New(cfg.Seed).Split(bench.String()).
+							Split(mode.String()).SplitN("trial", trial).Seed(),
+					}
+					tc.Sim.KMax = cfg.KMax
+					tc.Chip.Faults = degrade.FaultPlan{
+						Mode:        mode,
+						Fraction:    cfg.FaultFraction,
+						FailAfterLo: cfg.FailAfterLo,
+						FailAfterHi: cfg.FailAfterHi,
+					}
+					res, err := sim.RunTrial(tc, bench, func() sched.Router { return newRouter(router) })
+					if err != nil {
+						return err
+					}
+					trialResults[trial] = res
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				var cycles []float64
+				var firstFailures []float64
+				for _, res := range trialResults {
+					for _, c := range res.Cycles {
+						cycles = append(cycles, float64(c))
+					}
+					if res.FirstFailure == 0 {
+						firstFailures = append(firstFailures, float64(cfg.Executions+1))
+					} else {
+						firstFailures = append(firstFailures, float64(res.FirstFailure))
+					}
+				}
+				mean, sd := stats.MeanStd(cycles)
+				lo, hi, err := stats.BootstrapCI(cycles, 0.95, 2000, randx.New(cfg.Seed).Split("boot"))
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig16Row{
+					Assay: bench.String(), Router: router, FaultMode: mode.String(),
+					Mean: mean, SD: sd, CILo: lo, CIHi: hi, Executions: len(cycles),
+					MeanExecsToFirstFailure: stats.Mean(firstFailures),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderFig16 writes the fault-injection table.
+func RenderFig16(w io.Writer, rows []Fig16Row) {
+	fprintf(w, "Fig. 16 — mean cycles per execution under fault injection (± sample SD)\n")
+	tw := newTable(w)
+	fprintf(tw, "assay\tfaults\trouter\tmean k\tSD\t95%% CI\texecs\tmean execs to 1st failure\n")
+	for _, r := range rows {
+		fprintf(tw, "%s\t%s\t%s\t%.0f\t%.0f\t[%.0f, %.0f]\t%d\t%.1f\n",
+			r.Assay, r.FaultMode, r.Router, r.Mean, r.SD, r.CILo, r.CIHi, r.Executions, r.MeanExecsToFirstFailure)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"io"
+
+	"meda/internal/circuit"
+)
+
+// Fig2Row is one time sample of the three discharge waveforms of Fig. 2.
+type Fig2Row struct {
+	TimeNS    float64
+	VHealthy  float64
+	VPartial  float64
+	VDegraded float64
+}
+
+// Fig2Result reproduces Fig. 2: the sensing waveforms of the three
+// degradation classes, the threshold-crossing times, the DFF clock timing,
+// and the resulting 2-bit codes.
+type Fig2Result struct {
+	Rows []Fig2Row
+	// CrossingNS holds the threshold-crossing time (ns) per class.
+	CrossingNS map[circuit.HealthClass]float64
+	// Codes holds the sensed 2-bit code per class ("11", "01", "00").
+	Codes map[circuit.HealthClass]string
+	// OriginalClockNS and AddedClockNS are the two DFF clock edges (ns);
+	// their difference is the paper's 5 ns offset.
+	OriginalClockNS float64
+	AddedClockNS    float64
+}
+
+// Fig2 runs the behavioral MC sensing simulation.
+func Fig2(samples int) Fig2Result {
+	tm := circuit.DefaultTiming()
+	res := Fig2Result{
+		CrossingNS:      map[circuit.HealthClass]float64{},
+		Codes:           map[circuit.HealthClass]string{},
+		OriginalClockNS: tm.Original * 1e9,
+		AddedClockNS:    tm.Added * 1e9,
+	}
+	classes := []circuit.HealthClass{circuit.Healthy, circuit.PartiallyDegraded, circuit.CompletelyDegraded}
+	cells := make([]circuit.Cell, len(classes))
+	for i, cl := range classes {
+		cells[i] = circuit.CellFor(cl)
+		res.CrossingNS[cl] = cells[i].CrossingTime() * 1e9
+		res.Codes[cl] = cells[i].Sense(tm).Code()
+	}
+	// Sample a window around the crossings (±50 ns).
+	lo := res.CrossingNS[circuit.Healthy] - 50
+	hi := res.CrossingNS[circuit.CompletelyDegraded] + 50
+	if samples < 2 {
+		samples = 2
+	}
+	for i := 0; i < samples; i++ {
+		tns := lo + (hi-lo)*float64(i)/float64(samples-1)
+		t := tns * 1e-9
+		res.Rows = append(res.Rows, Fig2Row{
+			TimeNS:    tns,
+			VHealthy:  cells[0].Voltage(t),
+			VPartial:  cells[1].Voltage(t),
+			VDegraded: cells[2].Voltage(t),
+		})
+	}
+	return res
+}
+
+// Render writes the Fig. 2 reproduction as text.
+func (r Fig2Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 2 — microelectrode sensing simulation\n")
+	fprintf(w, "original DFF clock: %.2f ns, added DFF clock: %.2f ns (offset %.2f ns)\n",
+		r.OriginalClockNS, r.AddedClockNS, r.AddedClockNS-r.OriginalClockNS)
+	tw := newTable(w)
+	fprintf(tw, "class\tcapacitance (fF)\tcrossing (ns)\tcode\n")
+	for _, cl := range []circuit.HealthClass{circuit.Healthy, circuit.PartiallyDegraded, circuit.CompletelyDegraded} {
+		fprintf(tw, "%s\t%.3f\t%.2f\t%q\n", cl, cl.Capacitance()*1e15, r.CrossingNS[cl], r.Codes[cl])
+	}
+	tw.Flush()
+	fprintf(w, "waveform samples: %d points over [%.1f, %.1f] ns\n",
+		len(r.Rows), r.Rows[0].TimeNS, r.Rows[len(r.Rows)-1].TimeNS)
+}

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"io"
+	"strconv"
+	"time"
+
+	"meda/internal/assay"
+	"meda/internal/geom"
+	"meda/internal/route"
+	"meda/internal/synth"
+)
+
+// TableIVRow is one routing job of Table IV.
+type TableIVRow struct {
+	MO      string
+	Type    string
+	Job     string
+	Size    string
+	SizeErr float64
+	Start   geom.Rect
+	Goal    geom.Rect
+	Hazard  geom.Rect
+}
+
+// TableIV regenerates the MO → RJ decomposition of the paper's running
+// example (Fig. 12 / Table IV) on a 60×30 chip.
+func TableIV() ([]TableIVRow, error) {
+	a := &assay.Assay{Name: "table-iv", MOs: []assay.MO{
+		{ID: 0, Type: assay.Dis, Loc: []assay.Point{{X: 17.5, Y: 2.5}}, Area: 16},
+		{ID: 1, Type: assay.Dis, Loc: []assay.Point{{X: 17.5, Y: 28.5}}, Area: 16},
+		{ID: 2, Type: assay.Mix, Pre: []int{0, 1}, Loc: []assay.Point{{X: 10.5, Y: 15.5}}},
+		{ID: 3, Type: assay.Mag, Pre: []int{2}, Loc: []assay.Point{{X: 40.5, Y: 15.5}}, Hold: 10},
+		{ID: 4, Type: assay.Out, Pre: []int{3}, Loc: []assay.Point{{X: 58.5, Y: 15.5}}},
+	}}
+	plan, err := route.Compile(a, 60, 30)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TableIVRow
+	for i := range plan.MOs {
+		cm := &plan.MOs[i]
+		for _, j := range cm.Jobs {
+			w, h := j.Goal.Width(), j.Goal.Height()
+			rows = append(rows, TableIVRow{
+				MO:      "M" + itoa(i+1),
+				Type:    cm.MO.Type.String(),
+				Job:     j.Name(),
+				Size:    itoa(w*h) + " (" + itoa(w) + "×" + itoa(h) + ")",
+				SizeErr: cm.SizeErr,
+				Start:   j.Start,
+				Goal:    j.Goal,
+				Hazard:  j.Hazard,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// RenderTableIV writes the decomposition table.
+func RenderTableIV(w io.Writer, rows []TableIVRow) {
+	fprintf(w, "Table IV — MO → RJ decomposition (60×30 chip)\n")
+	tw := newTable(w)
+	fprintf(tw, "MO\ttype\tRJ\tsize\terr%%\tstart δs\tgoal δg\thazard δh\n")
+	for _, r := range rows {
+		fprintf(tw, "%s\t%s\t%s\t%s\t%.1f\t%v\t%v\t%v\n",
+			r.MO, r.Type, r.Job, r.Size, 100*r.SizeErr, r.Start, r.Goal, r.Hazard)
+	}
+	tw.Flush()
+}
+
+// TableVRow is one row of Table V: model size and synthesis runtime for one
+// (routing-job area, droplet size) combination.
+type TableVRow struct {
+	Area         int
+	Droplet      int
+	States       int
+	Transitions  int
+	Choices      int
+	Construction time.Duration
+	Synthesis    time.Duration
+	Total        time.Duration
+}
+
+// TableVConfig selects the sweep.
+type TableVConfig struct {
+	Areas    []int
+	Droplets []int
+}
+
+// DefaultTableVConfig is the paper's sweep: RJ areas 10², 20², 30² and
+// droplets 3×3 … 6×6.
+func DefaultTableVConfig() TableVConfig {
+	return TableVConfig{Areas: []int{10, 20, 30}, Droplets: []int{3, 4, 5, 6}}
+}
+
+// TableV measures synthesis performance. Like the paper, it assumes a
+// worst-case health matrix with no zero elements (a uniformly degraded field
+// with success probabilities strictly below one, so every failure branch is
+// present in the model).
+func TableV(cfg TableVConfig) ([]TableVRow, error) {
+	worn := func(x, y int) float64 { return 0.81 }
+	var rows []TableVRow
+	for _, area := range cfg.Areas {
+		for _, d := range cfg.Droplets {
+			rj := route.RJ{
+				Start:  geom.Rect{XA: 1, YA: 1, XB: d, YB: d},
+				Goal:   geom.Rect{XA: area - d + 1, YA: area - d + 1, XB: area, YB: area},
+				Hazard: geom.Rect{XA: 1, YA: 1, XB: area, YB: area},
+			}
+			res, err := synth.Synthesize(rj, worn, synth.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, TableVRow{
+				Area: area, Droplet: d,
+				States:       res.Stats.States,
+				Transitions:  res.Stats.Transitions,
+				Choices:      res.Stats.Choices,
+				Construction: res.Stats.Construction,
+				Synthesis:    res.Stats.Synthesis,
+				Total:        res.Stats.Total(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTableV writes the synthesis-performance table.
+func RenderTableV(w io.Writer, rows []TableVRow) {
+	fprintf(w, "Table V — synthesis performance (worst-case health matrix)\n")
+	tw := newTable(w)
+	fprintf(tw, "RJ area\tdroplet\t#states\t#transitions\t#choices\tconstruction\tsynthesis\ttotal\n")
+	for _, r := range rows {
+		fprintf(tw, "%d×%d\t%d×%d\t%d\t%d\t%d\t%v\t%v\t%v\n",
+			r.Area, r.Area, r.Droplet, r.Droplet,
+			r.States, r.Transitions, r.Choices,
+			r.Construction.Round(time.Microsecond),
+			r.Synthesis.Round(time.Microsecond),
+			r.Total.Round(time.Microsecond))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"io"
+	"time"
+
+	"meda/internal/assay"
+	"meda/internal/chip"
+	"meda/internal/circuit"
+	"meda/internal/degrade"
+	"meda/internal/randx"
+	"meda/internal/route"
+	"meda/internal/sched"
+	"meda/internal/sim"
+)
+
+// TTRRow characterizes one benchmark: its plan size, nominal cycle count on
+// a healthy chip, and the wall-clock time-to-result implied by the
+// operational-cycle timing model of Sec. III-A (scan-in, actuate, sense,
+// scan-out).
+type TTRRow struct {
+	Assay       string
+	Operations  int
+	RoutingJobs int
+	Cycles      int
+	WallClock   time.Duration
+}
+
+// TimeToResult executes every benchmark once on a robust chip and converts
+// cycles to wall-clock time, the quantity a clinician waits for.
+func TimeToResult(seed uint64) ([]TTRRow, error) {
+	cfg := chip.Default()
+	cfg.Normal = degrade.ParamRange{Tau1: 0.99, Tau2: 0.999, C1: 5000, C2: 10000}
+	timing := circuit.DefaultCycleTiming()
+	cells := cfg.W * cfg.H
+	benches := []assay.Benchmark{
+		assay.MasterMix, assay.CEP, assay.SerialDilution, assay.NuIP,
+		assay.CovidRAT, assay.CovidPCR, assay.ChIP, assay.InVitro,
+		assay.GeneExpression, assay.Protein, assay.PCRMix,
+	}
+	var out []TTRRow
+	for _, bench := range benches {
+		src := randx.New(seed).Split(bench.String())
+		c, err := chip.New(cfg, src.Split("chip"))
+		if err != nil {
+			return nil, err
+		}
+		a := bench.Build(assay.Layout{W: cfg.W, H: cfg.H}, 16)
+		plan, err := route.Compile(a, cfg.W, cfg.H)
+		if err != nil {
+			return nil, err
+		}
+		runner := sim.NewRunner(sim.DefaultConfig(), c, sched.NewBaseline(), src.Split("sim"))
+		exec, err := runner.Execute(plan)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TTRRow{
+			Assay:       bench.String(),
+			Operations:  a.Len(),
+			RoutingJobs: plan.TotalJobs(),
+			Cycles:      exec.Cycles,
+			WallClock:   timing.TimeToResult(exec.Cycles, cells),
+		})
+	}
+	return out, nil
+}
+
+// RenderTTR writes the benchmark characterization.
+func RenderTTR(w io.Writer, rows []TTRRow) {
+	fprintf(w, "Benchmark characterization — nominal time-to-result (healthy chip)\n")
+	tw := newTable(w)
+	fprintf(tw, "assay\toperations\trouting jobs\tcycles\twall clock\n")
+	for _, r := range rows {
+		fprintf(tw, "%s\t%d\t%d\t%d\t%v\n",
+			r.Assay, r.Operations, r.RoutingJobs, r.Cycles, r.WallClock.Round(100*time.Millisecond))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,435 @@
+// Package mdp provides an explicit-state Markov decision process engine with
+// the two solvers the paper's synthesis framework obtains from PRISM-games
+// (Sec. VI-C):
+//
+//   - maximum reachability probability, Pmax=? [◇goal] (with an optional
+//     safety constraint □¬hazard folded in by making hazard states losing),
+//     solved by value iteration from below, and
+//   - minimum expected total reward to reach a goal, Rmin=? [◇goal], the
+//     stochastic-shortest-path problem, solved by qualitative almost-sure
+//     reachability analysis (Prob1E) followed by value iteration.
+//
+// After the paper's partial-order reduction fixes the health matrix, the
+// per-routing-job model is exactly an MDP, so these two solvers cover every
+// synthesis query the framework issues. Both return memoryless deterministic
+// strategies, which are optimal for these objectives.
+package mdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// StateID indexes a state of the MDP.
+type StateID int
+
+// Transition is one probabilistic edge of a choice.
+type Transition struct {
+	To StateID
+	P  float64
+}
+
+// Choice is one nondeterministic action available in a state: an opaque
+// caller-supplied action identifier, an action reward (cost), and a
+// probability distribution over successor states.
+type Choice struct {
+	Action      int
+	Reward      float64
+	Transitions []Transition
+}
+
+// MDP is an explicit-state Markov decision process under construction or
+// analysis. The zero value is an empty MDP ready for AddState.
+type MDP struct {
+	choices [][]Choice
+	numTr   int
+}
+
+// New returns an empty MDP.
+func New() *MDP { return &MDP{} }
+
+// AddState appends a fresh state and returns its id.
+func (m *MDP) AddState() StateID {
+	m.choices = append(m.choices, nil)
+	return StateID(len(m.choices) - 1)
+}
+
+// AddStates appends n fresh states and returns the id of the first.
+func (m *MDP) AddStates(n int) StateID {
+	first := StateID(len(m.choices))
+	for i := 0; i < n; i++ {
+		m.choices = append(m.choices, nil)
+	}
+	return first
+}
+
+// AddChoice attaches a choice to a state. Transition probabilities are the
+// caller's responsibility until Validate is called.
+func (m *MDP) AddChoice(s StateID, action int, reward float64, trs []Transition) {
+	m.choices[s] = append(m.choices[s], Choice{Action: action, Reward: reward, Transitions: trs})
+	m.numTr += len(trs)
+}
+
+// NumStates returns |S|.
+func (m *MDP) NumStates() int { return len(m.choices) }
+
+// NumChoices returns the total number of state-action choices, the quantity
+// PRISM reports as "choices".
+func (m *MDP) NumChoices() int {
+	n := 0
+	for _, cs := range m.choices {
+		n += len(cs)
+	}
+	return n
+}
+
+// NumTransitions returns the total number of probabilistic transitions, the
+// quantity PRISM reports as "transitions".
+func (m *MDP) NumTransitions() int { return m.numTr }
+
+// Choices returns the choices of a state (shared slice; do not mutate).
+func (m *MDP) Choices(s StateID) []Choice { return m.choices[s] }
+
+// Validate checks structural sanity: transition targets in range,
+// probabilities in [0,1] summing to 1 per choice (within eps), non-negative
+// rewards.
+func (m *MDP) Validate() error {
+	const eps = 1e-9
+	for s, cs := range m.choices {
+		for ci, c := range cs {
+			if len(c.Transitions) == 0 {
+				return fmt.Errorf("mdp: state %d choice %d has no transitions", s, ci)
+			}
+			if c.Reward < 0 {
+				return fmt.Errorf("mdp: state %d choice %d has negative reward", s, ci)
+			}
+			total := 0.0
+			for _, tr := range c.Transitions {
+				if tr.To < 0 || int(tr.To) >= len(m.choices) {
+					return fmt.Errorf("mdp: state %d choice %d targets out-of-range state %d", s, ci, tr.To)
+				}
+				if tr.P < -eps || tr.P > 1+eps {
+					return fmt.Errorf("mdp: state %d choice %d has probability %v", s, ci, tr.P)
+				}
+				total += tr.P
+			}
+			if math.Abs(total-1) > 1e-6 {
+				return fmt.Errorf("mdp: state %d choice %d probabilities sum to %v", s, ci, total)
+			}
+		}
+	}
+	return nil
+}
+
+// Strategy is a memoryless deterministic strategy: for each state, the index
+// into Choices(s) of the selected choice, or -1 where no choice is selected
+// (target, avoided, or unreachable states).
+type Strategy []int
+
+// Action returns the caller-supplied action id selected in state s, or
+// (0, false) if the strategy selects nothing there.
+func (st Strategy) Action(m *MDP, s StateID) (int, bool) {
+	if int(s) >= len(st) || st[s] < 0 {
+		return 0, false
+	}
+	return m.Choices(s)[st[s]].Action, true
+}
+
+// SolverMethod selects the value-iteration flavor.
+type SolverMethod int
+
+const (
+	// GaussSeidel updates values in place, typically converging in fewer
+	// sweeps; this is the default.
+	GaussSeidel SolverMethod = iota
+	// Jacobi performs synchronous sweeps from the previous iterate.
+	Jacobi
+)
+
+// String names the method.
+func (m SolverMethod) String() string {
+	if m == Jacobi {
+		return "jacobi"
+	}
+	return "gauss-seidel"
+}
+
+// SolveOptions tunes the iterative solvers.
+type SolveOptions struct {
+	Method  SolverMethod
+	Eps     float64 // convergence threshold on the max-norm; default 1e-9
+	MaxIter int     // iteration cap; default 1e6
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.Eps <= 0 {
+		o.Eps = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1_000_000
+	}
+	return o
+}
+
+// Result carries a solver outcome.
+type Result struct {
+	Values     []float64
+	Strategy   Strategy
+	Iterations int
+}
+
+// ErrNoConvergence is returned when value iteration hits the iteration cap.
+var ErrNoConvergence = errors.New("mdp: value iteration did not converge")
+
+// MaxReachProb computes Pmax(s ⊨ ◇target) for every state, treating avoid
+// states as losing (their value is pinned to 0 and their choices ignored),
+// which encodes Pmax=?[□¬avoid ∧ ◇target] for label-closed avoid sets. The
+// returned strategy maximizes the probability.
+func (m *MDP) MaxReachProb(target, avoid []bool, opt SolveOptions) (Result, error) {
+	opt = opt.withDefaults()
+	n := m.NumStates()
+	if len(target) != n || (avoid != nil && len(avoid) != n) {
+		return Result{}, errors.New("mdp: label vector length mismatch")
+	}
+	vals := make([]float64, n)
+	for s := 0; s < n; s++ {
+		if target[s] && (avoid == nil || !avoid[s]) {
+			vals[s] = 1
+		}
+	}
+	frozen := func(s int) bool {
+		return target[s] || (avoid != nil && avoid[s]) || len(m.choices[s]) == 0
+	}
+	var prev []float64
+	if opt.Method == Jacobi {
+		prev = make([]float64, n)
+	}
+	iters := 0
+	for ; iters < opt.MaxIter; iters++ {
+		delta := 0.0
+		src := vals
+		if opt.Method == Jacobi {
+			copy(prev, vals)
+			src = prev
+		}
+		for s := 0; s < n; s++ {
+			if frozen(s) {
+				continue
+			}
+			best := 0.0
+			for _, c := range m.choices[s] {
+				v := 0.0
+				for _, tr := range c.Transitions {
+					v += tr.P * src[tr.To]
+				}
+				if v > best {
+					best = v
+				}
+			}
+			if d := math.Abs(best - vals[s]); d > delta {
+				delta = d
+			}
+			vals[s] = best
+		}
+		if delta < opt.Eps {
+			iters++
+			break
+		}
+	}
+	if iters >= opt.MaxIter {
+		return Result{}, ErrNoConvergence
+	}
+	// Extract an optimal *proper* strategy. Picking any value-maximizing
+	// choice is not enough for reachability: two value-1 states can
+	// maximize by cycling between each other forever. Build the policy
+	// backward from the target instead — a state adopts a maximizing
+	// choice only once that choice has a positive-probability transition
+	// to an already-resolved state, so every step makes progress.
+	strat := make(Strategy, n)
+	for s := 0; s < n; s++ {
+		strat[s] = -1
+	}
+	done := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if target[s] && (avoid == nil || !avoid[s]) {
+			done[s] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < n; s++ {
+			if done[s] || frozen(s) || vals[s] == 0 {
+				continue
+			}
+			for ci, c := range m.choices[s] {
+				v := 0.0
+				progress := false
+				for _, tr := range c.Transitions {
+					v += tr.P * vals[tr.To]
+					if tr.P > 0 && done[tr.To] {
+						progress = true
+					}
+				}
+				if progress && v >= vals[s]-1e-9 {
+					strat[s] = ci
+					done[s] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// States with Pmax = 0 get an arbitrary (first) choice so callers can
+	// still walk the policy; it cannot matter.
+	for s := 0; s < n; s++ {
+		if strat[s] == -1 && !frozen(s) && len(m.choices[s]) > 0 {
+			strat[s] = 0
+		}
+	}
+	return Result{Values: vals, Strategy: strat, Iterations: iters}, nil
+}
+
+// Prob1E returns the set of states from which some strategy reaches a target
+// state with probability 1 while never entering an avoid state. This is the
+// standard qualitative algorithm (greatest fixpoint over a reach-closure),
+// and it determines where Rmin=?[◇target] is finite.
+func (m *MDP) Prob1E(target, avoid []bool) []bool {
+	n := m.NumStates()
+	inU := make([]bool, n)
+	for s := 0; s < n; s++ {
+		inU[s] = avoid == nil || !avoid[s]
+	}
+	inR := make([]bool, n)
+	for {
+		// Inner fixpoint: R = states in U that can reach target with
+		// positive probability using choices that stay inside U.
+		for s := 0; s < n; s++ {
+			inR[s] = inU[s] && target[s]
+		}
+		for changed := true; changed; {
+			changed = false
+			for s := 0; s < n; s++ {
+				if !inU[s] || inR[s] {
+					continue
+				}
+			choiceLoop:
+				for _, c := range m.choices[s] {
+					hits := false
+					for _, tr := range c.Transitions {
+						if tr.P == 0 {
+							continue
+						}
+						if !inU[tr.To] {
+							continue choiceLoop
+						}
+						if inR[tr.To] {
+							hits = true
+						}
+					}
+					if hits {
+						inR[s] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		same := true
+		for s := 0; s < n; s++ {
+			if inU[s] != inR[s] {
+				same = false
+			}
+			inU[s] = inR[s]
+		}
+		if same {
+			return inU
+		}
+	}
+}
+
+// MinExpectedReward computes Rmin(s ⊨ ◇target): the minimum expected
+// accumulated choice reward until reaching a target state, with avoid states
+// forbidden. States from which no strategy reaches the target almost surely
+// (while avoiding) get +Inf. The returned strategy attains the minimum.
+func (m *MDP) MinExpectedReward(target, avoid []bool, opt SolveOptions) (Result, error) {
+	opt = opt.withDefaults()
+	n := m.NumStates()
+	if len(target) != n || (avoid != nil && len(avoid) != n) {
+		return Result{}, errors.New("mdp: label vector length mismatch")
+	}
+	as := m.Prob1E(target, avoid)
+	vals := make([]float64, n)
+	for s := 0; s < n; s++ {
+		if !as[s] {
+			vals[s] = math.Inf(1)
+		}
+	}
+	frozen := func(s int) bool {
+		return target[s] || !as[s] || len(m.choices[s]) == 0
+	}
+	var prev []float64
+	if opt.Method == Jacobi {
+		prev = make([]float64, n)
+	}
+	iters := 0
+	for ; iters < opt.MaxIter; iters++ {
+		delta := 0.0
+		src := vals
+		if opt.Method == Jacobi {
+			copy(prev, vals)
+			src = prev
+		}
+		for s := 0; s < n; s++ {
+			if frozen(s) {
+				continue
+			}
+			best := math.Inf(1)
+			for _, c := range m.choices[s] {
+				v := c.Reward
+				for _, tr := range c.Transitions {
+					if tr.P == 0 {
+						continue
+					}
+					v += tr.P * src[tr.To]
+				}
+				if v < best {
+					best = v
+				}
+			}
+			if d := math.Abs(best - vals[s]); d > delta {
+				delta = d
+			}
+			vals[s] = best
+		}
+		if delta < opt.Eps {
+			iters++
+			break
+		}
+	}
+	if iters >= opt.MaxIter {
+		return Result{}, ErrNoConvergence
+	}
+	strat := make(Strategy, n)
+	for s := 0; s < n; s++ {
+		strat[s] = -1
+		if frozen(s) {
+			continue
+		}
+		best, bi := math.Inf(1), -1
+		for ci, c := range m.choices[s] {
+			v := c.Reward
+			for _, tr := range c.Transitions {
+				if tr.P == 0 {
+					continue
+				}
+				v += tr.P * vals[tr.To]
+			}
+			if v < best-1e-12 {
+				best, bi = v, ci
+			}
+		}
+		strat[s] = bi
+	}
+	return Result{Values: vals, Strategy: strat, Iterations: iters}, nil
+}

@@ -1,0 +1,143 @@
+// Exact policy evaluation: given a memoryless strategy, the MDP collapses
+// to a Markov chain whose hitting probabilities and expected rewards are
+// computed by the same iterative machinery as the optimization — used to
+// audit synthesized strategies ("does the extracted policy really achieve
+// the reported value?") and to compare hand-written heuristics against the
+// optimum.
+package mdp
+
+import (
+	"errors"
+	"math"
+)
+
+// EvaluatePolicyReward computes the expected accumulated reward until
+// reaching a target state when every state follows the fixed strategy.
+// States where the strategy selects nothing (or whose policy walks into a
+// dead end) evaluate to +Inf unless they are targets.
+func (m *MDP) EvaluatePolicyReward(st Strategy, target []bool, opt SolveOptions) ([]float64, error) {
+	opt = opt.withDefaults()
+	n := m.NumStates()
+	if len(target) != n || len(st) != n {
+		return nil, errors.New("mdp: vector length mismatch")
+	}
+	// Almost-sure reachability under the fixed policy: greatest fixpoint
+	// restricted to the policy's single choice per state.
+	as := make([]bool, n)
+	for s := 0; s < n; s++ {
+		as[s] = true
+	}
+	tmp := make([]bool, n)
+	for {
+		for s := 0; s < n; s++ {
+			tmp[s] = as[s] && target[s]
+		}
+		for changed := true; changed; {
+			changed = false
+			for s := 0; s < n; s++ {
+				if !as[s] || tmp[s] || st[s] < 0 || st[s] >= len(m.choices[s]) {
+					continue
+				}
+				c := m.choices[s][st[s]]
+				stays, hits := true, false
+				for _, tr := range c.Transitions {
+					if tr.P == 0 {
+						continue
+					}
+					if !as[tr.To] {
+						stays = false
+						break
+					}
+					if tmp[tr.To] {
+						hits = true
+					}
+				}
+				if stays && hits {
+					tmp[s] = true
+					changed = true
+				}
+			}
+		}
+		same := true
+		for s := 0; s < n; s++ {
+			if as[s] != tmp[s] {
+				same = false
+			}
+			as[s] = tmp[s]
+		}
+		if same {
+			break
+		}
+	}
+
+	vals := make([]float64, n)
+	for s := 0; s < n; s++ {
+		if !as[s] {
+			vals[s] = math.Inf(1)
+		}
+	}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		delta := 0.0
+		for s := 0; s < n; s++ {
+			if target[s] || !as[s] || st[s] < 0 {
+				continue
+			}
+			c := m.choices[s][st[s]]
+			v := c.Reward
+			for _, tr := range c.Transitions {
+				if tr.P == 0 {
+					continue
+				}
+				v += tr.P * vals[tr.To]
+			}
+			if d := math.Abs(v - vals[s]); d > delta {
+				delta = d
+			}
+			vals[s] = v
+		}
+		if delta < opt.Eps {
+			return vals, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// EvaluatePolicyReach computes the probability of reaching a target state
+// under the fixed strategy, with avoid states losing.
+func (m *MDP) EvaluatePolicyReach(st Strategy, target, avoid []bool, opt SolveOptions) ([]float64, error) {
+	opt = opt.withDefaults()
+	n := m.NumStates()
+	if len(target) != n || len(st) != n || (avoid != nil && len(avoid) != n) {
+		return nil, errors.New("mdp: vector length mismatch")
+	}
+	vals := make([]float64, n)
+	for s := 0; s < n; s++ {
+		if target[s] && (avoid == nil || !avoid[s]) {
+			vals[s] = 1
+		}
+	}
+	frozen := func(s int) bool {
+		return target[s] || (avoid != nil && avoid[s]) || st[s] < 0 || st[s] >= len(m.choices[s])
+	}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		delta := 0.0
+		for s := 0; s < n; s++ {
+			if frozen(s) {
+				continue
+			}
+			c := m.choices[s][st[s]]
+			v := 0.0
+			for _, tr := range c.Transitions {
+				v += tr.P * vals[tr.To]
+			}
+			if d := math.Abs(v - vals[s]); d > delta {
+				delta = d
+			}
+			vals[s] = v
+		}
+		if delta < opt.Eps {
+			return vals, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}

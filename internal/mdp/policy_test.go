@@ -1,0 +1,116 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+
+	"meda/internal/randx"
+)
+
+// TestPolicyEvaluationMatchesOptimum: evaluating the optimal strategy
+// reproduces the optimal values, for both objectives.
+func TestPolicyEvaluationMatchesOptimum(t *testing.T) {
+	src := randx.New(61)
+	for trial := 0; trial < 10; trial++ {
+		m, target := randomMDP(src.SplitN("t", trial), 35, 3)
+		opt, err := m.MinExpectedReward(target, nil, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := m.EvaluatePolicyReward(opt.Strategy, target, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range vals {
+			if math.IsInf(opt.Values[s], 1) != math.IsInf(vals[s], 1) {
+				t.Fatalf("trial %d state %d: finiteness mismatch", trial, s)
+			}
+			if !math.IsInf(vals[s], 1) && math.Abs(vals[s]-opt.Values[s]) > 1e-5 {
+				t.Fatalf("trial %d state %d: %v vs optimal %v", trial, s, vals[s], opt.Values[s])
+			}
+		}
+		popt, err := m.MaxReachProb(target, nil, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pvals, err := m.EvaluatePolicyReach(popt.Strategy, target, nil, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range pvals {
+			if math.Abs(pvals[s]-popt.Values[s]) > 1e-5 {
+				t.Fatalf("trial %d state %d: reach %v vs optimal %v", trial, s, pvals[s], popt.Values[s])
+			}
+		}
+	}
+}
+
+// TestSuboptimalPolicyIsWorse: forcing the detour in the two-choice model
+// evaluates to its true (worse) cost.
+func TestSuboptimalPolicyIsWorse(t *testing.T) {
+	m := New()
+	s0 := m.AddState()
+	a := m.AddState()
+	b := m.AddState()
+	goal := m.AddState()
+	m.AddChoice(s0, 0, 1, []Transition{{To: a, P: 1}}) // detour: 3 steps
+	m.AddChoice(a, 0, 1, []Transition{{To: b, P: 1}})
+	m.AddChoice(b, 0, 1, []Transition{{To: goal, P: 1}})
+	m.AddChoice(s0, 1, 1, []Transition{{To: goal, P: 0.5}, {To: s0, P: 0.5}}) // expected 2
+	target := []bool{false, false, false, true}
+
+	detour := Strategy{0, 0, 0, -1}
+	vals, err := m.EvaluatePolicyReward(detour, target, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[s0]-3) > 1e-9 {
+		t.Errorf("detour cost = %v, want 3", vals[s0])
+	}
+	risky := Strategy{1, 0, 0, -1}
+	vals, err = m.EvaluatePolicyReward(risky, target, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[s0]-2) > 1e-6 {
+		t.Errorf("risky cost = %v, want 2", vals[s0])
+	}
+}
+
+// TestPolicyIntoTrapIsInfinite: a policy that walks into an absorbing
+// non-target state evaluates to +Inf (reward) and its true probability
+// (reach).
+func TestPolicyIntoTrapIsInfinite(t *testing.T) {
+	m := New()
+	s0 := m.AddState()
+	trap := m.AddState()
+	goal := m.AddState()
+	m.AddChoice(s0, 0, 1, []Transition{{To: trap, P: 0.5}, {To: goal, P: 0.5}})
+	m.AddChoice(trap, 0, 1, []Transition{{To: trap, P: 1}})
+	target := []bool{false, false, true}
+	st := Strategy{0, 0, -1}
+	vals, err := m.EvaluatePolicyReward(st, target, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(vals[s0], 1) {
+		t.Errorf("reward through a trap = %v, want +Inf", vals[s0])
+	}
+	pvals, err := m.EvaluatePolicyReach(st, target, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pvals[s0]-0.5) > 1e-9 {
+		t.Errorf("reach through a trap = %v, want 0.5", pvals[s0])
+	}
+}
+
+func TestPolicyEvaluationVectorMismatch(t *testing.T) {
+	m := chainMDP(3)
+	if _, err := m.EvaluatePolicyReward(Strategy{0}, labelLast(3), SolveOptions{}); err == nil {
+		t.Error("short strategy accepted")
+	}
+	if _, err := m.EvaluatePolicyReach(Strategy{0, 0, -1}, []bool{true}, nil, SolveOptions{}); err == nil {
+		t.Error("short target accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split("chip")
+	b := root.Split("trial")
+	if a.Seed() == b.Seed() {
+		t.Fatal("differently labeled splits share a seed")
+	}
+	// Splitting is stable: same label gives the same stream.
+	a2 := New(7).Split("chip")
+	for i := 0; i < 16; i++ {
+		if a.Float64() != a2.Float64() {
+			t.Fatal("split stream not stable across runs")
+		}
+	}
+}
+
+func TestSplitNStability(t *testing.T) {
+	root := New(9)
+	s3 := root.SplitN("trial", 3)
+	s4 := root.SplitN("trial", 4)
+	if s3.Seed() == s4.Seed() {
+		t.Fatal("indexed splits share a seed")
+	}
+	again := New(9).SplitN("trial", 3)
+	if again.Seed() != s3.Seed() {
+		t.Fatal("SplitN not stable")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(200, 500)
+		if v < 200 || v >= 500 {
+			t.Fatalf("Uniform(200,500) out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	s := New(13)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Uniform(0.5, 0.9)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.7) > 0.005 {
+		t.Errorf("Uniform(0.5,0.9) mean = %v, want ≈0.7", mean)
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(17)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("IntRange out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 7; v++ {
+		if !seen[v] {
+			t.Errorf("IntRange never produced %d", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(19)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) frequency = %v", p)
+	}
+}
+
+func TestChooseWeighted(t *testing.T) {
+	s := New(23)
+	counts := [3]int{}
+	const n = 90000
+	for i := 0; i < n; i++ {
+		counts[s.Choose([]float64{1, 2, 0})]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight outcome drawn %d times", counts[2])
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if math.Abs(ratio-2) > 0.1 {
+		t.Errorf("weight ratio = %v, want ≈2", ratio)
+	}
+}
+
+func TestChooseZeroTotalUniform(t *testing.T) {
+	s := New(29)
+	counts := [4]int{}
+	for i := 0; i < 8000; i++ {
+		counts[s.Choose([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 1500 {
+			t.Errorf("outcome %d underrepresented under zero weights: %d", i, c)
+		}
+	}
+}
+
+func TestChoosePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative weight")
+		}
+	}()
+	New(1).Choose([]float64{1, -1})
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(31)
+	const n = 200000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(5, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("Normal mean = %v", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Normal variance = %v", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(37)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

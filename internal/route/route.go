@@ -1,0 +1,355 @@
+// Package route implements the decomposition of microfluidic operations into
+// single-droplet routing jobs (Sec. VI-B): the RJ helper of Alg. 1, the ZONE
+// hazard-bound computation, and the droplet sizing rule (minimum area error
+// subject to |w − h| ≤ 1). Compile runs the helper over a whole bioassay,
+// resolving droplet sizes and resting locations along the dataflow, and
+// reproduces Table IV for the paper's running example.
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"meda/internal/assay"
+	"meda/internal/geom"
+)
+
+// HazardMargin is the safety margin, in microelectrodes, added around the
+// start and goal when computing a routing job's hazard bounds (the paper
+// uses 3 MCs on each of the four sides to prevent accidental merging).
+const HazardMargin = 3
+
+// RJ is a single-droplet routing job: move a droplet from Start to Goal
+// while staying within Hazard.
+type RJ struct {
+	// MO is the owning operation's ID; Index is the job's index within the
+	// operation (the paper writes RJ3.1 for MO 3, index 1).
+	MO, Index int
+	// Phase orders jobs within one operation: phase 0 jobs run first
+	// (e.g. a dilution's two mix-input routes), phase 1 jobs run after
+	// (the post-split output routes).
+	Phase int
+	// Start is δs; the zero rectangle for dispensing jobs, whose droplet
+	// enters from the chip edge.
+	Start geom.Rect
+	// Goal is δg: the droplet must come to lie within this rectangle.
+	Goal geom.Rect
+	// Hazard is δh: the droplet must never leave this rectangle.
+	Hazard geom.Rect
+	// Dispense marks jobs whose droplet enters from off-chip.
+	Dispense bool
+	// Exit marks jobs whose droplet leaves the chip on completion
+	// (out/dsc operations).
+	Exit bool
+}
+
+// Name returns the paper-style job name, e.g. "RJ3.1".
+func (r RJ) Name() string { return fmt.Sprintf("RJ%d.%d", r.MO, r.Index) }
+
+// SizeFor returns the droplet dimensions (w, h) for a target area: the pair
+// with |w−h| ≤ 1 minimizing the area error, preferring the wide orientation
+// (w ≥ h), per Sec. VI-B. The second return is the relative area error
+// (e.g. A=32 → 6×5, error 0.0625, matching Table IV's 6.3%).
+func SizeFor(area int) (w, h int, relErr float64) {
+	if area < 1 {
+		return 1, 1, 0
+	}
+	base := int(math.Sqrt(float64(area)))
+	type cand struct{ w, h int }
+	cands := []cand{{base, base}, {base + 1, base}, {base + 1, base + 1}}
+	best := cands[0]
+	bestErr := math.Abs(float64(best.w*best.h - area))
+	for _, c := range cands[1:] {
+		if e := math.Abs(float64(c.w*c.h - area)); e < bestErr {
+			best, bestErr = c, e
+		}
+	}
+	return best.w, best.h, bestErr / float64(area)
+}
+
+// Zone computes the hazard bounds δh = ZONE(δs, δg) on a W×H chip: the
+// bounding box of start and goal expanded by the safety margin, clipped to
+// the chip.
+func Zone(s, g geom.Rect, w, h int) geom.Rect {
+	u := s.Union(g).Expand(HazardMargin)
+	clipped, ok := u.Intersect(geom.Rect{XA: 1, YA: 1, XB: w, YB: h})
+	if !ok {
+		return geom.Rect{XA: 1, YA: 1, XB: w, YB: h}
+	}
+	return clipped
+}
+
+// EntryRect returns the on-chip rectangle where a dispensed droplet enters:
+// the goal rectangle translated to touch the nearest chip edge, from which
+// the dispense job routes perpendicular to that edge (Sec. VI-B).
+func EntryRect(goal geom.Rect, w, h int) geom.Rect {
+	cx, cy := goal.Center()
+	// Distances to the four edges.
+	dW := cx - 1
+	dE := float64(w) - cx
+	dS := cy - 1
+	dN := float64(h) - cy
+	minD := math.Min(math.Min(dW, dE), math.Min(dS, dN))
+	switch minD {
+	case dW:
+		return goal.Translate(1-goal.XA, 0)
+	case dE:
+		return goal.Translate(w-goal.XB, 0)
+	case dS:
+		return goal.Translate(0, 1-goal.YA)
+	default:
+		return goal.Translate(0, h-goal.YB)
+	}
+}
+
+// SplitRects places the two halves of a split droplet: the parent rectangle
+// is divided along its wider axis into two adjacent rectangles sized for the
+// given areas, clamped to the chip.
+func SplitRects(parent geom.Rect, area0, area1, w, h int) (geom.Rect, geom.Rect) {
+	w0, h0, _ := SizeFor(area0)
+	w1, h1, _ := SizeFor(area1)
+	cx, cy := parent.Center()
+	var r0, r1 geom.Rect
+	if parent.Width() >= parent.Height() {
+		// Split east–west: halves sit side by side around the center.
+		r0 = geom.RectAround(cx-float64(w0+1)/2, cy, w0, h0)
+		r1 = geom.RectAround(cx+float64(w1+1)/2, cy, w1, h1)
+	} else {
+		r0 = geom.RectAround(cx, cy-float64(h0+1)/2, w0, h0)
+		r1 = geom.RectAround(cx, cy+float64(h1+1)/2, w1, h1)
+	}
+	r0 = r0.Clamp(w, h)
+	r1 = r1.Clamp(w, h)
+	if r0.Overlaps(r1) {
+		// Clamping at a chip edge can push the halves together; separate
+		// them along the split axis as a last resort.
+		if parent.Width() >= parent.Height() {
+			r1 = r1.Translate(r0.XB-r1.XA+1, 0).Clamp(w, h)
+		} else {
+			r1 = r1.Translate(0, r0.YB-r1.YA+1).Clamp(w, h)
+		}
+	}
+	return r0, r1
+}
+
+// CompiledMO is one operation with its resolved droplet geometry and routing
+// jobs.
+type CompiledMO struct {
+	MO assay.MO
+	// Jobs lists the operation's routing jobs in phase order.
+	Jobs []RJ
+	// InRects are the resting rectangles of the input droplets.
+	InRects []geom.Rect
+	// InSlots identifies each input droplet as (producer MO id, output
+	// slot), resolved by the static claim order (consumers claim producer
+	// outputs in MO order); the simulator uses the same mapping.
+	InSlots [][2]int
+	// OutRects are the resting rectangles of the output droplets (where
+	// successor operations pick them up).
+	OutRects []geom.Rect
+	// OutAreas are the droplet areas of the outputs.
+	OutAreas []int
+	// MergedRect is the resting rectangle of the merged droplet for
+	// mix/dlt operations (the zero rectangle otherwise).
+	MergedRect geom.Rect
+	// SizeErr is the relative area error of the operation's droplet
+	// sizing (Table IV's "Size Error" column).
+	SizeErr float64
+}
+
+// Plan is a compiled bioassay: every operation decorated with droplet
+// geometry and routing jobs on a W×H chip.
+type Plan struct {
+	Assay *assay.Assay
+	W, H  int
+	MOs   []CompiledMO
+}
+
+// Compile runs the RJ helper (Alg. 1) over a bioassay: it resolves droplet
+// areas along the dataflow (mix sums, split halves), sizes and places every
+// droplet, and emits each operation's routing jobs.
+func Compile(a *assay.Assay, w, h int) (*Plan, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{Assay: a, W: w, H: h, MOs: make([]CompiledMO, len(a.MOs))}
+	// slot claims: consumers of an MO's outputs claim slots in MO order.
+	nextSlot := make([]int, len(a.MOs))
+
+	rectAt := func(loc assay.Point, area int) (geom.Rect, float64, error) {
+		dw, dh, relErr := SizeFor(area)
+		if dw > w || dh > h {
+			return geom.ZeroRect, 0, fmt.Errorf("route: %d×%d droplet does not fit the %d×%d chip", dw, dh, w, h)
+		}
+		r := geom.RectAround(loc.X, loc.Y, dw, dh).Clamp(w, h)
+		if !(geom.Rect{XA: 1, YA: 1, XB: w, YB: h}).ContainsRect(r) {
+			return geom.ZeroRect, 0, fmt.Errorf("route: %d×%d droplet at (%v,%v) does not fit the %d×%d chip",
+				dw, dh, loc.X, loc.Y, w, h)
+		}
+		return r, relErr, nil
+	}
+
+	for i, mo := range a.MOs {
+		cm := &p.MOs[i]
+		cm.MO = mo
+		// Resolve inputs.
+		inAreas := make([]int, len(mo.Pre))
+		cm.InRects = make([]geom.Rect, len(mo.Pre))
+		cm.InSlots = make([][2]int, len(mo.Pre))
+		for j, pre := range mo.Pre {
+			slot := nextSlot[pre]
+			nextSlot[pre]++
+			src := &p.MOs[pre]
+			if slot >= len(src.OutRects) {
+				return nil, fmt.Errorf("route: M%d consumes missing output %d of M%d", i, slot, pre)
+			}
+			cm.InRects[j] = src.OutRects[slot]
+			cm.InSlots[j] = [2]int{pre, slot}
+			inAreas[j] = src.OutAreas[slot]
+		}
+
+		switch mo.Type {
+		case assay.Dis:
+			goal, relErr, err := rectAt(mo.Loc[0], mo.Area)
+			if err != nil {
+				return nil, err
+			}
+			cm.SizeErr = relErr
+			cm.OutRects = []geom.Rect{goal}
+			cm.OutAreas = []int{mo.Area}
+			cm.Jobs = []RJ{{
+				MO: i, Index: 0,
+				Start:    geom.ZeroRect,
+				Goal:     goal,
+				Hazard:   Zone(goal, goal, w, h),
+				Dispense: true,
+			}}
+
+		case assay.Out, assay.Dsc:
+			goal, relErr, err := rectAt(mo.Loc[0], inAreas[0])
+			if err != nil {
+				return nil, err
+			}
+			cm.SizeErr = relErr
+			cm.Jobs = []RJ{{
+				MO: i, Index: 0,
+				Start:  cm.InRects[0],
+				Goal:   goal,
+				Hazard: Zone(cm.InRects[0], goal, w, h),
+				Exit:   true,
+			}}
+
+		case assay.Mag:
+			goal, relErr, err := rectAt(mo.Loc[0], inAreas[0])
+			if err != nil {
+				return nil, err
+			}
+			cm.SizeErr = relErr
+			cm.OutRects = []geom.Rect{goal}
+			cm.OutAreas = []int{inAreas[0]}
+			cm.Jobs = []RJ{{
+				MO: i, Index: 0,
+				Start:  cm.InRects[0],
+				Goal:   goal,
+				Hazard: Zone(cm.InRects[0], goal, w, h),
+			}}
+
+		case assay.Mix:
+			merged := inAreas[0] + inAreas[1]
+			mergedRect, relErr, err := rectAt(mo.Loc[0], merged)
+			if err != nil {
+				return nil, err
+			}
+			cm.SizeErr = relErr
+			cm.MergedRect = mergedRect
+			cm.OutRects = []geom.Rect{mergedRect}
+			cm.OutAreas = []int{merged}
+			for j := 0; j < 2; j++ {
+				goal, _, err := rectAt(mo.Loc[0], inAreas[j])
+				if err != nil {
+					return nil, err
+				}
+				cm.Jobs = append(cm.Jobs, RJ{
+					MO: i, Index: j,
+					Start:  cm.InRects[j],
+					Goal:   goal,
+					Hazard: Zone(cm.InRects[j], goal, w, h),
+				})
+			}
+
+		case assay.Spt:
+			a0 := inAreas[0] / 2
+			a1 := inAreas[0] - a0
+			s0, s1 := SplitRects(cm.InRects[0], a0, a1, w, h)
+			g0, relErr0, err := rectAt(mo.Loc[0], a0)
+			if err != nil {
+				return nil, err
+			}
+			g1, relErr1, err := rectAt(mo.Loc[1], a1)
+			if err != nil {
+				return nil, err
+			}
+			cm.SizeErr = math.Max(relErr0, relErr1)
+			cm.OutRects = []geom.Rect{g0, g1}
+			cm.OutAreas = []int{a0, a1}
+			cm.Jobs = []RJ{
+				{MO: i, Index: 0, Start: s0, Goal: g0, Hazard: Zone(s0, g0, w, h)},
+				{MO: i, Index: 1, Start: s1, Goal: g1, Hazard: Zone(s1, g1, w, h)},
+			}
+
+		case assay.Dlt:
+			// Phase 0: route both inputs to the mix site (Alg. 1 lines
+			// 12–13); the merged droplet then splits and phase 1 routes
+			// the halves to loc[0] and loc[1] (lines 14–15).
+			merged := inAreas[0] + inAreas[1]
+			mergedRect, relErr, err := rectAt(mo.Loc[0], merged)
+			if err != nil {
+				return nil, err
+			}
+			cm.SizeErr = relErr
+			cm.MergedRect = mergedRect
+			for j := 0; j < 2; j++ {
+				goal, _, err := rectAt(mo.Loc[0], inAreas[j])
+				if err != nil {
+					return nil, err
+				}
+				cm.Jobs = append(cm.Jobs, RJ{
+					MO: i, Index: j, Phase: 0,
+					Start:  cm.InRects[j],
+					Goal:   goal,
+					Hazard: Zone(cm.InRects[j], goal, w, h),
+				})
+			}
+			a0 := merged / 2
+			a1 := merged - a0
+			s0, s1 := SplitRects(mergedRect, a0, a1, w, h)
+			g0, _, err := rectAt(mo.Loc[0], a0)
+			if err != nil {
+				return nil, err
+			}
+			g1, _, err := rectAt(mo.Loc[1], a1)
+			if err != nil {
+				return nil, err
+			}
+			cm.OutRects = []geom.Rect{g0, g1}
+			cm.OutAreas = []int{a0, a1}
+			cm.Jobs = append(cm.Jobs,
+				RJ{MO: i, Index: 2, Phase: 1, Start: s0, Goal: g0, Hazard: Zone(s0, g0, w, h)},
+				RJ{MO: i, Index: 3, Phase: 1, Start: s1, Goal: g1, Hazard: Zone(s1, g1, w, h)},
+			)
+
+		default:
+			return nil, fmt.Errorf("route: unsupported operation type %v", mo.Type)
+		}
+	}
+	return p, nil
+}
+
+// TotalJobs returns the number of routing jobs in the plan.
+func (p *Plan) TotalJobs() int {
+	n := 0
+	for i := range p.MOs {
+		n += len(p.MOs[i].Jobs)
+	}
+	return n
+}

@@ -1,0 +1,373 @@
+package route
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"meda/internal/assay"
+	"meda/internal/geom"
+)
+
+func rect(xa, ya, xb, yb int) geom.Rect { return geom.Rect{XA: xa, YA: ya, XB: xb, YB: yb} }
+
+func TestSizeFor(t *testing.T) {
+	cases := []struct {
+		area, w, h int
+		relErr     float64
+	}{
+		{16, 4, 4, 0},
+		{32, 6, 5, 0.0625}, // Table IV: 32 → 6×5, error 6.3%
+		{20, 5, 4, 0},
+		{9, 3, 3, 0},
+		{2, 2, 1, 0},
+		{1, 1, 1, 0},
+		{0, 1, 1, 0},
+		{25, 5, 5, 0},
+		{36, 6, 6, 0},
+	}
+	for _, c := range cases {
+		w, h, e := SizeFor(c.area)
+		if w != c.w || h != c.h {
+			t.Errorf("SizeFor(%d) = %d×%d, want %d×%d", c.area, w, h, c.w, c.h)
+		}
+		if math.Abs(e-c.relErr) > 1e-9 {
+			t.Errorf("SizeFor(%d) error = %v, want %v", c.area, e, c.relErr)
+		}
+	}
+}
+
+func TestSizeForProperties(t *testing.T) {
+	f := func(a16 uint16) bool {
+		area := int(a16%200) + 1
+		w, h, e := SizeFor(area)
+		if w < h || w-h > 1 {
+			return false // |w−h| ≤ 1 with wide orientation
+		}
+		if e < 0 || e > 0.5 {
+			return false
+		}
+		// No (w', h') with |w'−h'| ≤ 1 does strictly better.
+		got := math.Abs(float64(w*h - area))
+		for hh := 1; hh*hh <= area+2*hh+1; hh++ {
+			for _, ww := range []int{hh, hh + 1} {
+				if math.Abs(float64(ww*hh-area)) < got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZone(t *testing.T) {
+	// M1's hazard from Table IV: goal (16,1,19,4) → (13,1,22,7).
+	g := rect(16, 1, 19, 4)
+	if z := Zone(g, g, 60, 30); z != rect(13, 1, 22, 7) {
+		t.Errorf("Zone = %v, want (13,1,22,7)", z)
+	}
+	// RJ3.0: start (16,1,19,4), goal (9,14,12,17) → (6,1,22,20).
+	if z := Zone(rect(16, 1, 19, 4), rect(9, 14, 12, 17), 60, 30); z != rect(6, 1, 22, 20) {
+		t.Errorf("Zone = %v, want (6,1,22,20)", z)
+	}
+}
+
+func TestZoneContainsEndpointsProperty(t *testing.T) {
+	f := func(xa, ya, xb, yb uint8) bool {
+		s := rect(int(xa%50)+1, int(ya%24)+1, int(xa%50)+4, int(ya%24)+4)
+		g := rect(int(xb%50)+1, int(yb%24)+1, int(xb%50)+4, int(yb%24)+4)
+		z := Zone(s, g, 60, 30)
+		return z.ContainsRect(s) && z.ContainsRect(g) &&
+			z.XA >= 1 && z.YA >= 1 && z.XB <= 60 && z.YB <= 30
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompileTableIV reproduces Table IV end to end: the four-operation
+// example bioassay on a 60×30 chip.
+func TestCompileTableIV(t *testing.T) {
+	a := &assay.Assay{Name: "table-iv", MOs: []assay.MO{
+		{ID: 0, Type: assay.Dis, Loc: []assay.Point{{X: 17.5, Y: 2.5}}, Area: 16},
+		{ID: 1, Type: assay.Dis, Loc: []assay.Point{{X: 17.5, Y: 28.5}}, Area: 16},
+		{ID: 2, Type: assay.Mix, Pre: []int{0, 1}, Loc: []assay.Point{{X: 10.5, Y: 15.5}}},
+		{ID: 3, Type: assay.Mag, Pre: []int{2}, Loc: []assay.Point{{X: 40.5, Y: 15.5}}, Hold: 10},
+		{ID: 4, Type: assay.Out, Pre: []int{3}, Loc: []assay.Point{{X: 58.5, Y: 15.5}}},
+	}}
+	p, err := Compile(a, 60, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// M1 (our M0): dis → RJ (0, (16,1,19,4), (13,1,22,7)).
+	j := p.MOs[0].Jobs[0]
+	if !j.Dispense || j.Start != geom.ZeroRect {
+		t.Error("dis job must dispense from off-chip")
+	}
+	if j.Goal != rect(16, 1, 19, 4) {
+		t.Errorf("M1 goal = %v, want (16,1,19,4)", j.Goal)
+	}
+	if j.Hazard != rect(13, 1, 22, 7) {
+		t.Errorf("M1 hazard = %v, want (13,1,22,7)", j.Hazard)
+	}
+
+	// M2: goal (16,27,19,30), hazard (13,24,22,30).
+	j = p.MOs[1].Jobs[0]
+	if j.Goal != rect(16, 27, 19, 30) || j.Hazard != rect(13, 24, 22, 30) {
+		t.Errorf("M2 = %+v", j)
+	}
+
+	// M3 mix: RJ3.0 (16,1,19,4)→(9,14,12,17) hazard (6,1,22,20);
+	// RJ3.1 (16,27,19,30)→(9,14,12,17) hazard (6,11,22,30).
+	j0, j1 := p.MOs[2].Jobs[0], p.MOs[2].Jobs[1]
+	if j0.Start != rect(16, 1, 19, 4) || j0.Goal != rect(9, 14, 12, 17) || j0.Hazard != rect(6, 1, 22, 20) {
+		t.Errorf("RJ3.0 = %+v", j0)
+	}
+	if j1.Start != rect(16, 27, 19, 30) || j1.Goal != rect(9, 14, 12, 17) || j1.Hazard != rect(6, 11, 22, 30) {
+		t.Errorf("RJ3.1 = %+v", j1)
+	}
+	// Merged droplet: area 32 → 6×5 at (8,14,13,18), size error 6.25%.
+	if p.MOs[2].MergedRect != rect(8, 14, 13, 18) {
+		t.Errorf("merged rect = %v, want (8,14,13,18)", p.MOs[2].MergedRect)
+	}
+	if math.Abs(p.MOs[2].SizeErr-0.0625) > 1e-9 {
+		t.Errorf("M3 size error = %v, want 6.25%%", p.MOs[2].SizeErr)
+	}
+
+	// M4 mag: (8,14,13,18) → (38,14,43,18), hazard (5,11,46,21).
+	j = p.MOs[3].Jobs[0]
+	if j.Start != rect(8, 14, 13, 18) || j.Goal != rect(38, 14, 43, 18) || j.Hazard != rect(5, 11, 46, 21) {
+		t.Errorf("M4 = %+v", j)
+	}
+	if j.Name() != "RJ3.0" {
+		t.Errorf("job name = %q", j.Name())
+	}
+}
+
+func TestEntryRect(t *testing.T) {
+	// Goal near the south edge enters from the south.
+	g := rect(16, 5, 19, 8)
+	if e := EntryRect(g, 60, 30); e != rect(16, 1, 19, 4) {
+		t.Errorf("south entry = %v", e)
+	}
+	// Goal near the east edge enters from the east.
+	g = rect(55, 14, 58, 17)
+	if e := EntryRect(g, 60, 30); e != rect(57, 14, 60, 17) {
+		t.Errorf("east entry = %v", e)
+	}
+	// Goal already touching an edge is its own entry.
+	g = rect(16, 1, 19, 4)
+	if e := EntryRect(g, 60, 30); e != g {
+		t.Errorf("edge goal entry = %v", e)
+	}
+}
+
+func TestEntryRectOnChipProperty(t *testing.T) {
+	f := func(x, y uint8) bool {
+		g := rect(int(x%56)+1, int(y%26)+1, int(x%56)+4, int(y%26)+4)
+		e := EntryRect(g, 60, 30)
+		onEdge := e.XA == 1 || e.XB == 60 || e.YA == 1 || e.YB == 30
+		return onEdge && e.Width() == 4 && e.Height() == 4 &&
+			e.XA >= 1 && e.YA >= 1 && e.XB <= 60 && e.YB <= 30
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitRects(t *testing.T) {
+	parent := rect(8, 14, 13, 18) // 6×5, 32 cells
+	r0, r1 := SplitRects(parent, 16, 16, 60, 30)
+	if r0.Overlaps(r1) {
+		t.Errorf("split halves overlap: %v %v", r0, r1)
+	}
+	if r0.Area() != 16 || r1.Area() != 16 {
+		t.Errorf("split areas = %d, %d", r0.Area(), r1.Area())
+	}
+	// Halves near the parent.
+	cx, cy := parent.Center()
+	for _, r := range []geom.Rect{r0, r1} {
+		rx, ry := r.Center()
+		if math.Abs(rx-cx) > 6 || math.Abs(ry-cy) > 6 {
+			t.Errorf("half %v too far from parent %v", r, parent)
+		}
+	}
+}
+
+func TestSplitRectsAtChipEdge(t *testing.T) {
+	parent := rect(1, 1, 6, 5) // against the south-west corner
+	r0, r1 := SplitRects(parent, 16, 16, 60, 30)
+	bounds := rect(1, 1, 60, 30)
+	if !bounds.ContainsRect(r0) || !bounds.ContainsRect(r1) {
+		t.Errorf("split halves off-chip: %v %v", r0, r1)
+	}
+	if r0.Overlaps(r1) {
+		t.Errorf("split halves overlap at edge: %v %v", r0, r1)
+	}
+}
+
+func TestSplitRectsVertical(t *testing.T) {
+	parent := rect(10, 10, 13, 17) // 4×8: splits north–south
+	r0, r1 := SplitRects(parent, 16, 16, 60, 30)
+	if r0.Overlaps(r1) {
+		t.Errorf("vertical split halves overlap: %v %v", r0, r1)
+	}
+	if !(r0.YB < r1.YA || r1.YB < r0.YA) {
+		t.Errorf("vertical split should separate along y: %v %v", r0, r1)
+	}
+}
+
+// TestCompileAllBenchmarks: every benchmark compiles on the default chip and
+// every job's hazard contains its start and goal.
+func TestCompileAllBenchmarks(t *testing.T) {
+	l := assay.Layout{W: 60, H: 30}
+	for _, bm := range []assay.Benchmark{
+		assay.MasterMix, assay.CEP, assay.SerialDilution, assay.NuIP,
+		assay.CovidRAT, assay.CovidPCR, assay.ChIP, assay.InVitro, assay.GeneExpression,
+	} {
+		p, err := Compile(bm.Build(l, 16), 60, 30)
+		if err != nil {
+			t.Errorf("%v: %v", bm, err)
+			continue
+		}
+		if p.TotalJobs() == 0 {
+			t.Errorf("%v: no routing jobs", bm)
+		}
+		for _, cm := range p.MOs {
+			for _, j := range cm.Jobs {
+				if !j.Hazard.ContainsRect(j.Goal) {
+					t.Errorf("%v %s: hazard %v misses goal %v", bm, j.Name(), j.Hazard, j.Goal)
+				}
+				if !j.Dispense && !j.Hazard.ContainsRect(j.Start) {
+					t.Errorf("%v %s: hazard %v misses start %v", bm, j.Name(), j.Hazard, j.Start)
+				}
+				if j.Goal.Area() < 1 {
+					t.Errorf("%v %s: empty goal", bm, j.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestCompileDltPhases: a dilution operation emits two phase-0 jobs (mix
+// inputs) and two phase-1 jobs (split outputs), per Alg. 1.
+func TestCompileDltPhases(t *testing.T) {
+	l := assay.Layout{W: 60, H: 30}
+	p, err := Compile(assay.SerialDilution.Build(l, 16), 60, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, cm := range p.MOs {
+		if cm.MO.Type != assay.Dlt {
+			continue
+		}
+		found = true
+		if len(cm.Jobs) != 4 {
+			t.Fatalf("dlt has %d jobs, want 4", len(cm.Jobs))
+		}
+		if cm.Jobs[0].Phase != 0 || cm.Jobs[1].Phase != 0 || cm.Jobs[2].Phase != 1 || cm.Jobs[3].Phase != 1 {
+			t.Errorf("dlt phases = %d,%d,%d,%d", cm.Jobs[0].Phase, cm.Jobs[1].Phase, cm.Jobs[2].Phase, cm.Jobs[3].Phase)
+		}
+		if len(cm.OutRects) != 2 || len(cm.OutAreas) != 2 {
+			t.Error("dlt must produce two outputs")
+		}
+		if cm.OutAreas[0]+cm.OutAreas[1] != 32 {
+			t.Errorf("dlt output areas = %v, want sum 32", cm.OutAreas)
+		}
+	}
+	if !found {
+		t.Fatal("serial dilution has no dlt")
+	}
+}
+
+// TestCompileConservesArea: along any mix, droplet area is additive; along
+// any split, it divides into halves differing by at most one cell.
+func TestCompileConservesArea(t *testing.T) {
+	l := assay.Layout{W: 60, H: 30}
+	p, err := Compile(assay.NuIP.Build(l, 16), 60, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cm := range p.MOs {
+		switch cm.MO.Type {
+		case assay.Spt:
+			if cm.OutAreas[0]+cm.OutAreas[1] != areaOfInput(p, cm) {
+				t.Errorf("split does not conserve area: %v", cm.OutAreas)
+			}
+			if abs(cm.OutAreas[0]-cm.OutAreas[1]) > 1 {
+				t.Errorf("split halves unbalanced: %v", cm.OutAreas)
+			}
+		case assay.Mix:
+			if cm.OutAreas[0] != areaOfInputs(p, cm) {
+				t.Errorf("mix does not sum areas: %d", cm.OutAreas[0])
+			}
+		}
+	}
+}
+
+func areaOfInput(p *Plan, cm CompiledMO) int {
+	pre := cm.MO.Pre[0]
+	// Find which slot this MO claimed: recompute by searching consumers.
+	slot := 0
+	for i := 0; i < cm.MO.ID; i++ {
+		for _, q := range p.MOs[i].MO.Pre {
+			if q == pre {
+				slot++
+			}
+		}
+	}
+	return p.MOs[pre].OutAreas[slot]
+}
+
+func areaOfInputs(p *Plan, cm CompiledMO) int {
+	total := 0
+	for j, pre := range cm.MO.Pre {
+		slot := 0
+		for i := 0; i < cm.MO.ID; i++ {
+			for _, q := range p.MOs[i].MO.Pre {
+				if q == pre {
+					slot++
+				}
+			}
+		}
+		// Count earlier claims within this same MO.
+		for k := 0; k < j; k++ {
+			if cm.MO.Pre[k] == pre {
+				slot++
+			}
+		}
+		total += p.MOs[pre].OutAreas[slot]
+	}
+	return total
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestCompileRejectsInvalidAssay(t *testing.T) {
+	bad := &assay.Assay{Name: "bad", MOs: []assay.MO{
+		{ID: 0, Type: assay.Mix, Pre: []int{0, 0}, Loc: []assay.Point{{X: 5, Y: 5}}},
+	}}
+	if _, err := Compile(bad, 60, 30); err == nil {
+		t.Error("invalid assay compiled")
+	}
+}
+
+func TestCompileRejectsOversizedDroplet(t *testing.T) {
+	a := &assay.Assay{Name: "big", MOs: []assay.MO{
+		{ID: 0, Type: assay.Dis, Loc: []assay.Point{{X: 3, Y: 3}}, Area: 400},
+		{ID: 1, Type: assay.Out, Pre: []int{0}, Loc: []assay.Point{{X: 5, Y: 3}}},
+	}}
+	if _, err := Compile(a, 10, 10); err == nil {
+		t.Error("droplet larger than chip accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Offline strategy-library persistence. The hybrid scheduler of Alg. 3
+// assumes "a library of pre-synthesized strategies is first created
+// offline"; Save and Load make that literal: a library built on one run (or
+// by a dedicated pre-synthesis pass) can be serialized and shipped with the
+// biochip controller.
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"meda/internal/action"
+	"meda/internal/geom"
+	"meda/internal/route"
+	"meda/internal/synth"
+)
+
+// libraryFile is the on-disk JSON schema.
+type libraryFile struct {
+	Version int            `json:"version"`
+	Entries []libraryEntry `json:"entries"`
+}
+
+type libraryEntry struct {
+	Start  [4]int        `json:"start"`
+	Goal   [4]int        `json:"goal"`
+	Hazard [4]int        `json:"hazard"`
+	Value  float64       `json:"value"`
+	Policy []policyEntry `json:"policy"`
+}
+
+type policyEntry struct {
+	Droplet [4]int `json:"d"`
+	Action  uint8  `json:"a"`
+}
+
+func rectToArr(r geom.Rect) [4]int { return [4]int{r.XA, r.YA, r.XB, r.YB} }
+func arrToRect(a [4]int) geom.Rect { return geom.Rect{XA: a[0], YA: a[1], XB: a[2], YB: a[3]} }
+func entryKey(e libraryEntry) libKey {
+	return libKey{start: arrToRect(e.Start), goal: arrToRect(e.Goal), hazard: arrToRect(e.Hazard)}
+}
+
+// Save serializes the library as JSON. Entries are written in a stable
+// order so the output is reproducible.
+func (l *Library) Save(w io.Writer) error {
+	file := libraryFile{Version: 1}
+	keys := make([]libKey, 0, len(l.entries))
+	for k := range l.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.hazard != b.hazard {
+			return less(a.hazard, b.hazard)
+		}
+		if a.start != b.start {
+			return less(a.start, b.start)
+		}
+		return less(a.goal, b.goal)
+	})
+	for _, k := range keys {
+		e := l.entries[k]
+		entry := libraryEntry{
+			Start:  rectToArr(k.start),
+			Goal:   rectToArr(k.goal),
+			Hazard: rectToArr(k.hazard),
+			Value:  e.value,
+		}
+		// Stable policy order: by droplet rectangle.
+		ds := make([]geom.Rect, 0, len(e.policy))
+		for d := range e.policy {
+			ds = append(ds, d)
+		}
+		sort.Slice(ds, func(i, j int) bool { return less(ds[i], ds[j]) })
+		for _, d := range ds {
+			entry.Policy = append(entry.Policy, policyEntry{
+				Droplet: rectToArr(d),
+				Action:  uint8(e.policy[d]),
+			})
+		}
+		file.Entries = append(file.Entries, entry)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+func less(a, b geom.Rect) bool {
+	if a.XA != b.XA {
+		return a.XA < b.XA
+	}
+	if a.YA != b.YA {
+		return a.YA < b.YA
+	}
+	if a.XB != b.XB {
+		return a.XB < b.XB
+	}
+	return a.YB < b.YB
+}
+
+// Load reads a library saved with Save, merging its entries into l.
+func (l *Library) Load(r io.Reader) error {
+	var file libraryFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return fmt.Errorf("sched: loading strategy library: %w", err)
+	}
+	if file.Version != 1 {
+		return fmt.Errorf("sched: unsupported library version %d", file.Version)
+	}
+	for _, e := range file.Entries {
+		policy := make(synth.Policy, len(e.Policy))
+		for _, pe := range e.Policy {
+			if pe.Action >= action.NumActions {
+				return fmt.Errorf("sched: library entry has invalid action %d", pe.Action)
+			}
+			policy[arrToRect(pe.Droplet)] = action.Action(pe.Action)
+		}
+		l.entries[entryKey(e)] = libEntry{policy: policy, value: e.Value}
+	}
+	return nil
+}
+
+// Presynthesize fills the library with healthy-chip strategies for every
+// routing job of a compiled plan (the paper's "range of droplet sizes
+// assuming no degradation"). Returns the number of entries added.
+func (l *Library) Presynthesize(plan *route.Plan, opt synth.Options) (int, error) {
+	healthy := func(x, y int) float64 { return 1 }
+	added := 0
+	for i := range plan.MOs {
+		for _, rj := range plan.MOs[i].Jobs {
+			rj = synth.NormalizeDispense(rj, plan.W, plan.H)
+			if _, _, ok := l.Lookup(rj); ok {
+				continue
+			}
+			res, err := synth.Synthesize(rj, healthy, opt)
+			if err != nil {
+				return added, err
+			}
+			if res.Exists() {
+				l.Store(rj, res.Policy, res.Value)
+				added++
+			}
+		}
+	}
+	return added, nil
+}

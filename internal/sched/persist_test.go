@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"meda/internal/assay"
+	"meda/internal/route"
+	"meda/internal/synth"
+)
+
+func TestLibrarySaveLoadRoundTrip(t *testing.T) {
+	lib := NewLibrary()
+	healthy := func(x, y int) float64 { return 1 }
+	jobs := []route.RJ{
+		job(),
+		{Start: rect(1, 1, 4, 4), Goal: rect(10, 1, 13, 4), Hazard: rect(1, 1, 16, 7)},
+	}
+	for _, rj := range jobs {
+		res, err := synth.Synthesize(rj, healthy, synth.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.Store(rj, res.Policy, res.Value)
+	}
+
+	var buf bytes.Buffer
+	if err := lib.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := NewLibrary()
+	if err := loaded.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for _, rj := range jobs {
+		p1, v1, ok1 := lib.Lookup(rj)
+		p2, v2, ok2 := loaded.Lookup(rj)
+		if !ok1 || !ok2 {
+			t.Fatalf("lookup failed: %v %v", ok1, ok2)
+		}
+		if v1 != v2 || len(p1) != len(p2) {
+			t.Fatalf("entry mismatch: %v/%d vs %v/%d", v1, len(p1), v2, len(p2))
+		}
+		for d, a := range p1 {
+			if p2[d] != a {
+				t.Fatalf("policy mismatch at %v", d)
+			}
+		}
+	}
+}
+
+func TestLibrarySaveDeterministic(t *testing.T) {
+	build := func() string {
+		lib := NewLibrary()
+		healthy := func(x, y int) float64 { return 1 }
+		for _, rj := range []route.RJ{
+			job(),
+			{Start: rect(2, 2, 4, 4), Goal: rect(8, 8, 10, 10), Hazard: rect(1, 1, 12, 12)},
+		} {
+			res, err := synth.Synthesize(rj, healthy, synth.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			lib.Store(rj, res.Policy, res.Value)
+		}
+		var buf bytes.Buffer
+		if err := lib.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if build() != build() {
+		t.Error("library serialization not deterministic")
+	}
+}
+
+func TestLibraryLoadRejectsGarbage(t *testing.T) {
+	lib := NewLibrary()
+	if err := lib.Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := lib.Load(strings.NewReader(`{"version":99,"entries":[]}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	bad := `{"version":1,"entries":[{"start":[1,1,2,2],"goal":[3,3,4,4],"hazard":[1,1,6,6],
+		"value":1,"policy":[{"d":[1,1,2,2],"a":250}]}]}`
+	if err := lib.Load(strings.NewReader(bad)); err == nil {
+		t.Error("invalid action id accepted")
+	}
+}
+
+func TestPresynthesize(t *testing.T) {
+	lib := NewLibrary()
+	a := assay.MasterMix.Build(assay.Layout{W: 60, H: 30}, 16)
+	plan, err := route.Compile(a, 60, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := lib.Presynthesize(plan, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("nothing pre-synthesized")
+	}
+	_, _, size := lib.Stats()
+	if size != added {
+		t.Errorf("size %d != added %d", size, added)
+	}
+	// Every job of the plan now hits the library.
+	for i := range plan.MOs {
+		for _, rj := range plan.MOs[i].Jobs {
+			rj = synth.NormalizeDispense(rj, 60, 30)
+			if _, _, ok := lib.Lookup(rj); !ok {
+				t.Errorf("job %s missing after pre-synthesis", rj.Name())
+			}
+		}
+	}
+	// Idempotent: a second pass adds nothing.
+	again, err := lib.Presynthesize(plan, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Errorf("second pass added %d entries", again)
+	}
+}

@@ -1,0 +1,177 @@
+// Package sched provides the routing-strategy providers used by the hybrid
+// scheduler of Sec. VI-D (Alg. 3): the degradation-unaware baseline router
+// of Sec. VII-A and the adaptive router that synthesizes strategies from the
+// current health matrix, backed by an offline library of strategies
+// pre-synthesized under the no-degradation assumption.
+package sched
+
+import (
+	"meda/internal/baseline"
+	"meda/internal/chip"
+	"meda/internal/geom"
+	"meda/internal/route"
+	"meda/internal/smg"
+	"meda/internal/synth"
+)
+
+// Router produces a routing strategy for a job under the current biochip
+// condition, returning the policy and its predicted cost in cycles (+Inf
+// when no strategy exists is signaled by an error instead, to keep callers
+// honest).
+type Router interface {
+	// Name identifies the router in experiment output.
+	Name() string
+	// HealthAware reports whether strategies depend on the health matrix
+	// (and therefore must be refreshed when health changes).
+	HealthAware() bool
+	// Route computes the strategy for the job. obstacles lists regions
+	// (other droplets resting on the array, already margin-expanded) the
+	// route must avoid.
+	Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synth.Policy, float64, error)
+}
+
+// Baseline is the shortest-path router: it minimizes distance traveled and
+// never consults microelectrode health.
+type Baseline struct {
+	Model smg.ModelOptions
+}
+
+// NewBaseline returns the baseline router with the default action alphabet.
+func NewBaseline() *Baseline {
+	return &Baseline{Model: smg.DefaultModelOptions()}
+}
+
+// Name implements Router.
+func (b *Baseline) Name() string { return "baseline" }
+
+// HealthAware implements Router: the baseline ignores health.
+func (b *Baseline) HealthAware() bool { return false }
+
+// Route implements Router via breadth-first shortest path.
+func (b *Baseline) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synth.Policy, float64, error) {
+	rj = synth.NormalizeDispense(rj, c.W(), c.H())
+	opt := b.Model
+	opt.Blocked = obstacles
+	policy, cycles, err := baseline.ShortestPath(rj, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return policy, float64(cycles), nil
+}
+
+// libKey is the canonical (origin-translated) form of a routing job; two
+// jobs with the same key have identical strategies under the
+// no-degradation assumption, up to translation.
+type libKey struct {
+	start, goal, hazard geom.Rect
+}
+
+type libEntry struct {
+	policy synth.Policy
+	value  float64
+}
+
+// Library is the offline strategy store of Alg. 3: strategies synthesized
+// assuming full health, keyed by the job's canonical geometry. It is not
+// safe for concurrent use; give each simulation its own Library (or share
+// one across sequential executions to model the persistent offline store).
+type Library struct {
+	entries map[libKey]libEntry
+	hits    int
+	misses  int
+}
+
+// NewLibrary returns an empty strategy library.
+func NewLibrary() *Library {
+	return &Library{entries: make(map[libKey]libEntry)}
+}
+
+// canonical translates the job so its hazard rectangle starts at (1,1).
+func canonical(rj route.RJ) (libKey, int, int) {
+	dx := 1 - rj.Hazard.XA
+	dy := 1 - rj.Hazard.YA
+	return libKey{
+		start:  rj.Start.Translate(dx, dy),
+		goal:   rj.Goal.Translate(dx, dy),
+		hazard: rj.Hazard.Translate(dx, dy),
+	}, dx, dy
+}
+
+// Lookup returns the stored strategy translated to the job's actual
+// position, or ok=false on a miss.
+func (l *Library) Lookup(rj route.RJ) (synth.Policy, float64, bool) {
+	key, dx, dy := canonical(rj)
+	e, ok := l.entries[key]
+	if !ok {
+		l.misses++
+		return nil, 0, false
+	}
+	l.hits++
+	return e.policy.Translate(-dx, -dy), e.value, true
+}
+
+// Store records a strategy synthesized under the no-degradation assumption.
+func (l *Library) Store(rj route.RJ, p synth.Policy, value float64) {
+	key, dx, dy := canonical(rj)
+	l.entries[key] = libEntry{policy: p.Translate(dx, dy), value: value}
+}
+
+// Stats returns (hits, misses, size).
+func (l *Library) Stats() (hits, misses, size int) {
+	return l.hits, l.misses, len(l.entries)
+}
+
+// Adaptive is the paper's router: Alg. 2 synthesis from the observed health
+// matrix, with the hybrid offline library shortcut of Alg. 3 — when every
+// microelectrode in the job's hazard bounds still reads fully healthy, the
+// pre-synthesized (or memoized) healthy-chip strategy is reused.
+type Adaptive struct {
+	Opt synth.Options
+	Lib *Library
+	// Syntheses counts online synthesis runs (library misses and degraded
+	// regions); LibraryUses counts strategies served from the library.
+	Syntheses   int
+	LibraryUses int
+}
+
+// NewAdaptive returns the adaptive router with the paper's default query
+// (Rmin) and a fresh library.
+func NewAdaptive() *Adaptive {
+	return &Adaptive{Opt: synth.DefaultOptions(), Lib: NewLibrary()}
+}
+
+// Name implements Router.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// HealthAware implements Router.
+func (a *Adaptive) HealthAware() bool { return true }
+
+// Route implements Router: library fast path on fully healthy, unobstructed
+// regions, online synthesis against the observed force field otherwise.
+func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synth.Policy, float64, error) {
+	rj = synth.NormalizeDispense(rj, c.W(), c.H())
+	top := 1<<uint(c.HealthBits()) - 1
+	if a.Lib != nil && len(obstacles) == 0 && c.MinHealth(rj.Hazard) == top {
+		if p, v, ok := a.Lib.Lookup(rj); ok {
+			a.LibraryUses++
+			return p, v, nil
+		}
+		res, err := synth.Synthesize(rj, func(x, y int) float64 { return 1 }, a.Opt)
+		if err != nil {
+			return nil, 0, err
+		}
+		a.Syntheses++
+		if res.Exists() {
+			a.Lib.Store(rj, res.Policy, res.Value)
+		}
+		return res.Policy, res.Value, nil
+	}
+	opt := a.Opt
+	opt.Model.Blocked = obstacles
+	res, err := synth.Synthesize(rj, c.ObservedForceField(), opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	a.Syntheses++
+	return res.Policy, res.Value, nil
+}

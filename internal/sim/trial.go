@@ -1,0 +1,92 @@
+// Trial harness for the evaluation of Sec. VII: repeated executions of a
+// bioassay on the same (reused, progressively degrading) biochip.
+package sim
+
+import (
+	"meda/internal/assay"
+	"meda/internal/chip"
+	"meda/internal/randx"
+	"meda/internal/route"
+	"meda/internal/sched"
+)
+
+// TrialConfig describes one trial: a fresh chip, one router, and repeated
+// executions of one bioassay until the target number of successes or the
+// first abort.
+type TrialConfig struct {
+	Sim  Config
+	Chip chip.Config
+	// Executions is the trial's target number of successful executions
+	// (Sec. VII-C uses five).
+	Executions int
+	// Area is the dispensed droplet area (16 for the 4×4 droplets used in
+	// the evaluation).
+	Area int
+	Seed uint64
+}
+
+// DefaultTrialConfig mirrors Sec. VII: 60×30 chip, k_max = 1000, five
+// executions, 4×4 droplets.
+func DefaultTrialConfig(seed uint64) TrialConfig {
+	return TrialConfig{
+		Sim:        DefaultConfig(),
+		Chip:       chip.Default(),
+		Executions: 5,
+		Area:       16,
+		Seed:       seed,
+	}
+}
+
+// TrialResult aggregates one trial.
+type TrialResult struct {
+	// Cycles lists the cycle count of every execution run (an aborted
+	// execution contributes KMax).
+	Cycles []int
+	// Successes is the number of completed executions.
+	Successes int
+	// FirstFailure is the 1-based index of the aborted execution (0 when
+	// every execution succeeded).
+	FirstFailure int
+	// Stalls and Resyntheses sum over all executions.
+	Stalls      int
+	Resyntheses int
+}
+
+// RouterFactory builds a fresh router per trial (routers carry memoized
+// state such as the strategy library).
+type RouterFactory func() sched.Router
+
+// RunTrial executes the trial: a fresh chip is instantiated from the seed,
+// and the bioassay runs repeatedly until cfg.Executions successes or the
+// first abort.
+func RunTrial(cfg TrialConfig, bench assay.Benchmark, mk RouterFactory) (TrialResult, error) {
+	src := randx.New(cfg.Seed)
+	c, err := chip.New(cfg.Chip, src.Split("chip"))
+	if err != nil {
+		return TrialResult{}, err
+	}
+	a := bench.Build(assay.Layout{W: cfg.Chip.W, H: cfg.Chip.H}, cfg.Area)
+	plan, err := route.Compile(a, cfg.Chip.W, cfg.Chip.H)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	runner := NewRunner(cfg.Sim, c, mk(), src.Split("sim"))
+
+	var res TrialResult
+	for i := 1; res.Successes < cfg.Executions; i++ {
+		exec, err := runner.Execute(plan)
+		if err != nil {
+			return res, err
+		}
+		res.Cycles = append(res.Cycles, exec.Cycles)
+		res.Stalls += exec.Stalls
+		res.Resyntheses += exec.Resyntheses
+		if exec.Success {
+			res.Successes++
+			continue
+		}
+		res.FirstFailure = i
+		break
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package smg
+
+import (
+	"math"
+	"testing"
+
+	"meda/internal/mdp"
+	"meda/internal/randx"
+)
+
+// TestRminMonotoneInForce: improving any microelectrode's force can only
+// reduce (never increase) the expected routing time — the defining
+// monotonicity of the Rmin objective.
+func TestRminMonotoneInForce(t *testing.T) {
+	src := randx.New(77)
+	bounds := rect(1, 1, 12, 12)
+	start := rect(1, 1, 3, 3)
+	goal := rect(10, 10, 12, 12)
+	for trial := 0; trial < 8; trial++ {
+		tsrc := src.SplitN("trial", trial)
+		// A random field bounded away from zero so both solves converge.
+		base := make(map[[2]int]float64)
+		field := func(scale float64) func(int, int) float64 {
+			return func(x, y int) float64 {
+				v, ok := base[[2]int{x, y}]
+				if !ok {
+					v = 0.3 + 0.7*tsrc.Float64()
+					base[[2]int{x, y}] = v
+				}
+				v *= scale
+				if v > 1 {
+					v = 1
+				}
+				return v
+			}
+		}
+		solve := func(f func(int, int) float64) float64 {
+			m, err := Induce(bounds, start, goal, f, DefaultModelOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.M.MinExpectedReward(m.Goal, m.Hazard, mdp.SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Values[m.Start]
+		}
+		weak := solve(field(1))
+		strong := solve(field(1.3)) // uniformly stronger forces
+		if strong > weak+1e-9 {
+			t.Fatalf("trial %d: stronger forces worsened Rmin: %v > %v", trial, strong, weak)
+		}
+	}
+}
+
+// TestRminLowerBoundedByDistance: the expected number of cycles can never
+// beat the deterministic shortest path on a perfect chip.
+func TestRminLowerBoundedByDistance(t *testing.T) {
+	src := randx.New(78)
+	bounds := rect(1, 1, 12, 12)
+	start := rect(2, 2, 4, 4)
+	goal := rect(9, 9, 11, 11)
+	// Chebyshev distance with ordinal moves = 7.
+	const optimal = 7.0
+	for trial := 0; trial < 8; trial++ {
+		tsrc := src.SplitN("trial", trial)
+		cache := make(map[[2]int]float64)
+		field := func(x, y int) float64 {
+			v, ok := cache[[2]int{x, y}]
+			if !ok {
+				v = 0.2 + 0.8*tsrc.Float64()
+				cache[[2]int{x, y}] = v
+			}
+			return v
+		}
+		m, err := Induce(bounds, start, goal, field, DefaultModelOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.M.MinExpectedReward(m.Goal, m.Hazard, mdp.SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := res.Values[m.Start]; v < optimal-1e-9 {
+			t.Fatalf("trial %d: Rmin %v beats the physical optimum %v", trial, v, optimal)
+		}
+	}
+}
+
+// TestPmaxIsOneWithoutHazards: with every force positive and exits disabled
+// by construction, the droplet reaches the goal almost surely: Pmax = 1.
+func TestPmaxIsOneWithoutHazards(t *testing.T) {
+	src := randx.New(79)
+	bounds := rect(1, 1, 10, 10)
+	start := rect(1, 1, 3, 3)
+	goal := rect(7, 7, 9, 9)
+	cache := make(map[[2]int]float64)
+	field := func(x, y int) float64 {
+		v, ok := cache[[2]int{x, y}]
+		if !ok {
+			v = 0.05 + 0.95*src.Float64()
+			cache[[2]int{x, y}] = v
+		}
+		return v
+	}
+	m, err := Induce(bounds, start, goal, field, DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.M.MaxReachProb(m.Goal, m.Hazard, mdp.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Values[m.Start]-1) > 1e-6 {
+		t.Errorf("Pmax = %v, want 1 (all forces positive, no exits)", res.Values[m.Start])
+	}
+}
+
+// TestModelStochastic: every induced model is a valid MDP for random fields
+// and geometries.
+func TestModelStochastic(t *testing.T) {
+	src := randx.New(80)
+	for trial := 0; trial < 20; trial++ {
+		tsrc := src.SplitN("t", trial)
+		wh := tsrc.IntRange(6, 14)
+		d := tsrc.IntRange(2, 4)
+		bounds := rect(1, 1, wh, wh)
+		start := rect(1, 1, d, d)
+		gx := tsrc.IntRange(1, wh-d+1)
+		gy := tsrc.IntRange(1, wh-d+1)
+		goal := rect(gx, gy, gx+d-1, gy+d-1)
+		opt := DefaultModelOptions()
+		opt.AllowMorph = tsrc.Bool(0.5)
+		field := func(x, y int) float64 { return tsrc.Float64() }
+		m, err := Induce(bounds, start, goal, field, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.M.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Package smg implements the stochastic-game model of MEDA biochips from
+// Sec. V-C and its reduction to per-routing-job Markov decision processes
+// from Sec. VI-C.
+//
+// The game G = (S, A1 ∪ A2, γ, s0) has states (δ, H, λ): the droplet
+// rectangle, the health matrix, and whose turn it is. Player ① is the
+// droplet controller with the 20 microfluidic actions of package action;
+// player ② is biochip degradation, which nondeterministically lowers health
+// codes (in simulation, nature plays ② by wearing microelectrodes as they
+// are actuated, and by triggering injected hard faults).
+//
+// For synthesis the paper applies a partial-order reduction: within one
+// routing job the health matrix changes negligibly, so H is frozen at its
+// current value and the game collapses to an MDP over droplet rectangles
+// restricted to the job's hazard bounds. Induce builds that MDP explicitly.
+package smg
+
+import (
+	"fmt"
+
+	"meda/internal/action"
+	"meda/internal/chip"
+	"meda/internal/geom"
+	"meda/internal/mdp"
+	"meda/internal/randx"
+)
+
+// Player identifies whose turn it is in the game.
+type Player int
+
+const (
+	// Controller is player ①, the droplet controller.
+	Controller Player = 1
+	// Environment is player ②, biochip degradation.
+	Environment Player = 2
+)
+
+// String names the player.
+func (p Player) String() string {
+	if p == Controller {
+		return "controller"
+	}
+	return "environment"
+}
+
+// Game binds the droplet actuation model to a biochip, exposing the two
+// model fidelities of Sec. V-C: the full-information view used for strategy
+// synthesis (health matrix H) and the hidden-information view used for
+// simulation (degradation matrix D).
+type Game struct {
+	Chip *chip.Chip
+	// Bounds restricts legal droplet rectangles (a routing job's hazard
+	// bounds, or the whole chip).
+	Bounds geom.Rect
+	// MaxAspect is the aspect-ratio guard bound r (default 2).
+	MaxAspect float64
+}
+
+// NewGame returns a game over the whole chip with the default guards.
+func NewGame(c *chip.Chip) *Game {
+	return &Game{Chip: c, Bounds: c.Bounds(), MaxAspect: action.DefaultMaxAspect}
+}
+
+// EnabledActions returns the ① actions enabled for droplet d: guard
+// conditions hold and the fully-successful destination stays within Bounds
+// (the droplet is forbidden from leaving the allowed area).
+func (g *Game) EnabledActions(d geom.Rect) []action.Action {
+	var out []action.Action
+	for _, a := range action.All() {
+		if !a.Enabled(d, g.MaxAspect) {
+			continue
+		}
+		if !g.Bounds.ContainsRect(a.Apply(d)) {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// OutcomesTrue returns the outcome distribution of action a on droplet d
+// under the hidden degradation matrix D (simulation fidelity).
+func (g *Game) OutcomesTrue(d geom.Rect, a action.Action) []action.Outcome {
+	return action.Outcomes(d, a, g.Chip.TrueForceField())
+}
+
+// OutcomesObserved returns the outcome distribution under the observed b-bit
+// health matrix H (synthesis fidelity).
+func (g *Game) OutcomesObserved(d geom.Rect, a action.Action) []action.Outcome {
+	return action.Outcomes(d, a, g.Chip.ObservedForceField())
+}
+
+// Step samples nature's resolution of action a on droplet d using the true
+// degradation state, returning the next droplet rectangle. It does not
+// actuate the chip; callers account for wear via chip.Actuate, which is
+// player ②'s move.
+func (g *Game) Step(d geom.Rect, a action.Action, src *randx.Source) geom.Rect {
+	outs := g.OutcomesTrue(d, a)
+	weights := make([]float64, len(outs))
+	for i, o := range outs {
+		weights[i] = o.P
+	}
+	return outs[src.Choose(weights)].Droplet
+}
+
+// ModelOptions configures the induced per-routing-job MDP.
+type ModelOptions struct {
+	// MaxAspect is the aspect-ratio guard bound r.
+	MaxAspect float64
+	// AllowMorph includes the A_↓/A_↑ shape-morphing actions (and the
+	// reachable droplet shapes) in the model. The paper's Table V models
+	// use fixed-shape droplets; morphing is an extension.
+	AllowMorph bool
+	// AllowDouble includes the double-step movements A_dd.
+	AllowDouble bool
+	// AllowOrdinal includes the ordinal movements A_dd'.
+	AllowOrdinal bool
+	// ActionCost is the reward assigned to each ① action (1 cycle).
+	ActionCost float64
+	// Blocked lists rectangles the droplet must not overlap (e.g. other
+	// droplets resting on the array, already grown by the scheduler's
+	// collision margin). Outcomes landing on a blocked rectangle are
+	// treated as hazard, so synthesized strategies route around them.
+	// The start rectangle itself is exempt.
+	Blocked []geom.Rect
+}
+
+// DefaultModelOptions mirrors the paper's synthesis configuration: full
+// movement alphabet, no morphing, unit cycle cost.
+func DefaultModelOptions() ModelOptions {
+	return ModelOptions{
+		MaxAspect:    action.DefaultMaxAspect,
+		AllowDouble:  true,
+		AllowOrdinal: true,
+		ActionCost:   1,
+	}
+}
+
+func (o ModelOptions) allowed(a action.Action) bool {
+	switch a.Class() {
+	case action.Cardinal:
+		return true
+	case action.Double:
+		return o.AllowDouble
+	case action.Ordinal:
+		return o.AllowOrdinal
+	default:
+		return o.AllowMorph
+	}
+}
+
+// Model is the MDP induced from the game for one routing job, together with
+// the bookkeeping needed to interpret solver output: the mapping between
+// droplet rectangles and state ids, the three special states, and the
+// goal/hazard label vectors of Alg. 2.
+type Model struct {
+	M     *mdp.MDP
+	Start mdp.StateID
+	// Init is the commit state: its single zero-cost choice dispatches
+	// the droplet to Start, mirroring the game's initial ① turn.
+	Init mdp.StateID
+	// GoalSink absorbs every outcome that satisfies the goal label;
+	// HazardSink absorbs every outcome that violates the hazard bounds
+	// (reachable only when an enabled action can exit, which the default
+	// guard construction prevents).
+	GoalSink, HazardSink mdp.StateID
+	Goal, Hazard         []bool
+
+	rects []geom.Rect // position-state id → droplet rectangle
+	index map[geom.Rect]mdp.StateID
+}
+
+// StateOf returns the MDP state of a droplet rectangle.
+func (m *Model) StateOf(d geom.Rect) (mdp.StateID, bool) {
+	s, ok := m.index[d]
+	return s, ok
+}
+
+// RectOf returns the droplet rectangle of a position state; ok is false for
+// the three bookkeeping states.
+func (m *Model) RectOf(s mdp.StateID) (geom.Rect, bool) {
+	if int(s) >= len(m.rects) {
+		return geom.ZeroRect, false
+	}
+	return m.rects[s], true
+}
+
+// NumPositions returns the number of droplet-rectangle states (excluding the
+// three bookkeeping states).
+func (m *Model) NumPositions() int { return len(m.rects) }
+
+// GoalLabel evaluates the paper's goal label for a droplet rectangle:
+// (xa ≥ xag) ∧ (ya ≥ yag) ∧ (xb ≤ xbg) ∧ (yb ≤ ybg), i.e. the droplet lies
+// within the goal rectangle.
+func GoalLabel(d, goal geom.Rect) bool { return goal.ContainsRect(d) }
+
+// HazardLabel evaluates the hazard label: the droplet exceeds the hazard
+// bounds in any direction.
+func HazardLabel(d, bounds geom.Rect) bool { return !bounds.ContainsRect(d) }
+
+// shapes enumerates the droplet shapes reachable from (w, h) through the
+// morph actions under the aspect-ratio guard, including (w, h) itself.
+func shapes(w, h int, opt ModelOptions) [][2]int {
+	if !opt.AllowMorph {
+		return [][2]int{{w, h}}
+	}
+	seen := map[[2]int]bool{{w, h}: true}
+	queue := [][2]int{{w, h}}
+	var out [][2]int
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		out = append(out, s)
+		// Probe the guard with a canonical rectangle of this shape.
+		d := geom.Rect{XA: 1, YA: 1, XB: s[0], YB: s[1]}
+		for _, a := range action.All() {
+			if cls := a.Class(); cls != action.Widen && cls != action.Heighten {
+				continue
+			}
+			if !a.Enabled(d, opt.MaxAspect) {
+				continue
+			}
+			nd := a.Apply(d)
+			ns := [2]int{nd.Width(), nd.Height()}
+			if !seen[ns] {
+				seen[ns] = true
+				queue = append(queue, ns)
+			}
+		}
+	}
+	return out
+}
+
+// Induce builds the per-routing-job MDP: droplet rectangles of the start
+// shape (plus morph-reachable shapes if enabled) positioned within bounds,
+// an init commit state, and goal/hazard sinks. field supplies the relative
+// EWOD force per microelectrode — the observed field for synthesis, or the
+// true field for oracle experiments.
+func Induce(bounds, start, goal geom.Rect, field action.ForceField, opt ModelOptions) (*Model, error) {
+	if opt.MaxAspect == 0 { // zero value → defaults
+		opt = DefaultModelOptions()
+	}
+	if !start.Valid() || !goal.Valid() || !bounds.Valid() {
+		return nil, fmt.Errorf("smg: invalid rectangle (start %v goal %v bounds %v)", start, goal, bounds)
+	}
+	if !bounds.ContainsRect(start) {
+		return nil, fmt.Errorf("smg: start %v outside hazard bounds %v", start, bounds)
+	}
+	if !bounds.ContainsRect(goal) {
+		return nil, fmt.Errorf("smg: goal %v outside hazard bounds %v", goal, bounds)
+	}
+
+	m := &Model{M: mdp.New(), index: make(map[geom.Rect]mdp.StateID)}
+
+	// Enumerate position states shape by shape, matching the reduced
+	// state space S̃ ⊆ Δh of Sec. VI-C.
+	for _, s := range shapes(start.Width(), start.Height(), opt) {
+		w, h := s[0], s[1]
+		for ya := bounds.YA; ya+h-1 <= bounds.YB; ya++ {
+			for xa := bounds.XA; xa+w-1 <= bounds.XB; xa++ {
+				d := geom.Rect{XA: xa, YA: ya, XB: xa + w - 1, YB: ya + h - 1}
+				id := m.M.AddState()
+				m.rects = append(m.rects, d)
+				m.index[d] = id
+			}
+		}
+	}
+	m.Init = m.M.AddState()
+	m.GoalSink = m.M.AddState()
+	m.HazardSink = m.M.AddState()
+
+	startID, ok := m.index[start]
+	if !ok {
+		return nil, fmt.Errorf("smg: start %v not enumerated", start)
+	}
+	m.Start = startID
+
+	blockedAt := func(d geom.Rect) bool {
+		if d == start {
+			return false
+		}
+		for _, b := range opt.Blocked {
+			if d.Overlaps(b) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// resolve maps an outcome rectangle to its destination state, folding
+	// goal satisfaction, hazard violation, and blocked regions into the
+	// sinks.
+	resolve := func(d geom.Rect) mdp.StateID {
+		if GoalLabel(d, goal) {
+			return m.GoalSink
+		}
+		if HazardLabel(d, bounds) || blockedAt(d) {
+			return m.HazardSink
+		}
+		id, ok := m.index[d]
+		if !ok {
+			// A shape not in the enumerated set (cannot happen with
+			// guard-closed shape enumeration); treat as hazard.
+			return m.HazardSink
+		}
+		return id
+	}
+
+	for id, d := range m.rects {
+		if GoalLabel(d, goal) {
+			// Goal-satisfying positions are represented by the sink;
+			// give the position an absorbing self-loop so the model
+			// is deadlock-free if it is ever entered directly.
+			m.M.AddChoice(mdp.StateID(id), -1, 0, []mdp.Transition{{To: mdp.StateID(id), P: 1}})
+			continue
+		}
+		for _, a := range action.All() {
+			if !opt.allowed(a) {
+				continue
+			}
+			if !a.Enabled(d, opt.MaxAspect) {
+				continue
+			}
+			if !bounds.ContainsRect(a.Apply(d)) {
+				continue // forbidden: would leave the hazard bounds
+			}
+			outs := action.Outcomes(d, a, field)
+			trs := make([]mdp.Transition, 0, len(outs))
+			for _, o := range outs {
+				if o.P == 0 {
+					continue
+				}
+				trs = append(trs, mdp.Transition{To: resolve(o.Droplet), P: o.P})
+			}
+			if len(trs) == 0 {
+				continue
+			}
+			m.M.AddChoice(mdp.StateID(id), int(a), opt.ActionCost, trs)
+		}
+	}
+
+	// Bookkeeping states: the init commit dispatches to the start (or the
+	// goal sink, when the job starts already satisfied); sinks self-loop.
+	m.M.AddChoice(m.Init, -1, 0, []mdp.Transition{{To: resolve(start), P: 1}})
+	m.M.AddChoice(m.GoalSink, -1, 0, []mdp.Transition{{To: m.GoalSink, P: 1}})
+	m.M.AddChoice(m.HazardSink, -1, 0, []mdp.Transition{{To: m.HazardSink, P: 1}})
+
+	n := m.M.NumStates()
+	m.Goal = make([]bool, n)
+	m.Goal[m.GoalSink] = true
+	m.Hazard = make([]bool, n)
+	m.Hazard[m.HazardSink] = true
+	return m, nil
+}
+
+// Policy converts a solved mdp.Strategy into the droplet routing strategy
+// π: Δ → A of Sec. VI-C, mapping each droplet rectangle to its selected
+// microfluidic action.
+func (m *Model) Policy(st mdp.Strategy) map[geom.Rect]action.Action {
+	out := make(map[geom.Rect]action.Action, len(m.rects))
+	for id, d := range m.rects {
+		act, ok := st.Action(m.M, mdp.StateID(id))
+		if !ok || act < 0 {
+			continue
+		}
+		out[d] = action.Action(act)
+	}
+	return out
+}

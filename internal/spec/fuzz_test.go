@@ -1,0 +1,26 @@
+package spec
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the query parser: it must never panic,
+// and every accepted query must round-trip through String.
+func FuzzParse(f *testing.F) {
+	f.Add("Rmin=? [ G !hazard & F goal ]")
+	f.Add("Pmax=? [ F goal ]")
+	f.Add("Pmax=? [ [] !a & <> b ]")
+	f.Add("=?[]")
+	f.Add("Rmin")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		again, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("accepted query %q does not re-parse: %v", q.String(), err)
+		}
+		if again != q {
+			t.Fatalf("round trip changed query: %+v vs %+v", again, q)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+// Package synth implements the routing-strategy synthesis procedure of
+// Alg. 2: given a routing job and the current health matrix, it constructs
+// the induced MDP (Sec. VI-C), forms the synthesis query, runs the
+// probabilistic model checker, and extracts the droplet routing strategy
+// π: Δ → A together with the query value (expected cycles for Rmin, success
+// probability for Pmax). It also reports the model-size and timing
+// statistics of Table V.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"meda/internal/action"
+	"meda/internal/geom"
+	"meda/internal/mdp"
+	"meda/internal/route"
+	"meda/internal/smg"
+	"meda/internal/spec"
+)
+
+// Options configures a synthesis run.
+type Options struct {
+	// Query is the synthesis query; the default is the paper's
+	// reward-based routing query Rmin=? [ G !hazard & F goal ].
+	Query spec.Query
+	// Model configures the induced MDP (action alphabet, morphing, cost).
+	Model smg.ModelOptions
+	// Solver tunes value iteration.
+	Solver mdp.SolveOptions
+}
+
+// DefaultOptions returns the paper's synthesis configuration.
+func DefaultOptions() Options {
+	return Options{
+		Query: spec.RoutingQuery(spec.RMin),
+		Model: smg.DefaultModelOptions(),
+	}
+}
+
+// Stats are the per-synthesis metrics reported in Table V.
+type Stats struct {
+	States      int
+	Transitions int
+	Choices     int
+	// Construction is the time to build the model; Synthesis is the time
+	// to check the query and extract the strategy; Total is their sum.
+	Construction time.Duration
+	Synthesis    time.Duration
+	Iterations   int
+}
+
+// Total returns construction + synthesis time.
+func (s Stats) Total() time.Duration { return s.Construction + s.Synthesis }
+
+// Policy is a synthesized droplet routing strategy: the microfluidic action
+// to issue for each droplet rectangle.
+type Policy map[geom.Rect]action.Action
+
+// Translate returns the policy shifted by (dx, dy), used by the offline
+// strategy library to reuse a strategy synthesized at a canonical position.
+func (p Policy) Translate(dx, dy int) Policy {
+	out := make(Policy, len(p))
+	for d, a := range p {
+		out[d.Translate(dx, dy)] = a
+	}
+	return out
+}
+
+// Result is the outcome of Alg. 2.
+type Result struct {
+	// Policy is π, empty when no strategy exists.
+	Policy Policy
+	// Value is the query value at the job's start state: the expected
+	// number of cycles k for Rmin queries (+Inf when no strategy exists),
+	// or the maximum success probability for Pmax queries.
+	Value float64
+	// Stats carries Table V metrics.
+	Stats Stats
+	// Model retains the induced model for inspection.
+	Model *smg.Model
+}
+
+// Exists reports whether a usable strategy was synthesized.
+func (r Result) Exists() bool { return len(r.Policy) > 0 && !math.IsInf(r.Value, 1) }
+
+// Synthesize runs Alg. 2 for one routing job under the given force field
+// (derived from the current health matrix H). Dispense jobs must be
+// normalized first (route.RJ.Start set on-chip); see NormalizeDispense.
+func Synthesize(rj route.RJ, field action.ForceField, opt Options) (Result, error) {
+	if rj.Start.IsZero() {
+		return Result{}, fmt.Errorf("synth: %s has an off-chip start; normalize dispense jobs first", rj.Name())
+	}
+	var res Result
+
+	t0 := time.Now()
+	model, err := smg.Induce(rj.Hazard, rj.Start, rj.Goal, field, opt.Model)
+	if err != nil {
+		return Result{}, fmt.Errorf("synth: %s: %w", rj.Name(), err)
+	}
+	res.Stats.Construction = time.Since(t0)
+	res.Stats.States = model.M.NumStates()
+	res.Stats.Transitions = model.M.NumTransitions()
+	res.Stats.Choices = model.M.NumChoices()
+	res.Model = model
+
+	target, avoid, err := labelVectors(model, opt.Query)
+	if err != nil {
+		return Result{}, err
+	}
+
+	t1 := time.Now()
+	var solved mdp.Result
+	switch opt.Query.Kind {
+	case spec.RMin:
+		solved, err = model.M.MinExpectedReward(target, avoid, opt.Solver)
+	case spec.PMax:
+		solved, err = model.M.MaxReachProb(target, avoid, opt.Solver)
+	default:
+		err = fmt.Errorf("synth: unsupported query kind %v", opt.Query.Kind)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("synth: %s: %w", rj.Name(), err)
+	}
+	res.Stats.Synthesis = time.Since(t1)
+	res.Stats.Iterations = solved.Iterations
+	res.Value = solved.Values[model.Init]
+
+	// PRISMG returns (∅, ∞) when no strategy exists (Alg. 2); mirror that.
+	if opt.Query.Kind == spec.RMin && math.IsInf(res.Value, 1) {
+		return res, nil
+	}
+	if opt.Query.Kind == spec.PMax && res.Value == 0 {
+		return res, nil
+	}
+	res.Policy = Policy(model.Policy(solved.Strategy))
+	return res, nil
+}
+
+// labelVectors maps the query's label names onto the model's goal/hazard
+// vectors; the routing model only defines these two labels.
+func labelVectors(m *smg.Model, q spec.Query) (target, avoid []bool, err error) {
+	switch q.Reach {
+	case "goal":
+		target = m.Goal
+	case "hazard":
+		target = m.Hazard
+	default:
+		return nil, nil, fmt.Errorf("synth: unknown reach label %q", q.Reach)
+	}
+	switch q.Avoid {
+	case "":
+		avoid = nil
+	case "hazard":
+		avoid = m.Hazard
+	case "goal":
+		avoid = m.Goal
+	default:
+		return nil, nil, fmt.Errorf("synth: unknown avoid label %q", q.Avoid)
+	}
+	return target, avoid, nil
+}
+
+// NormalizeDispense rewrites a dispense job so it can be synthesized and
+// simulated: the droplet enters at the goal's nearest-edge projection and
+// the hazard bounds grow to cover the entry (the paper generates dispense
+// strategies as a movement perpendicular to the edge; routing from the edge
+// projection reproduces exactly that).
+func NormalizeDispense(rj route.RJ, w, h int) route.RJ {
+	if !rj.Dispense || !rj.Start.IsZero() {
+		return rj
+	}
+	entry := route.EntryRect(rj.Goal, w, h)
+	rj.Start = entry
+	rj.Hazard = route.Zone(entry, rj.Goal, w, h)
+	return rj
+}

@@ -1,0 +1,164 @@
+package meda_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"meda"
+)
+
+// TestPublicAPIEndToEnd drives the whole stack through the facade: build a
+// chip, compile a benchmark, execute it adaptively, and synthesize a single
+// strategy.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	src := meda.NewSource(2021)
+	cfg := meda.DefaultChipConfig()
+	c, err := meda.NewChip(cfg, src.Split("chip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := meda.CompileBenchmark(meda.CovidRAT, cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := meda.NewRunner(meda.DefaultSimConfig(), c, meda.NewAdaptiveRouter(), src.Split("sim"))
+	exec, err := runner.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Success {
+		t.Fatalf("COVID-RAT failed: %+v", exec)
+	}
+	if c.TotalActuations() == 0 {
+		t.Error("execution caused no wear")
+	}
+}
+
+func TestPublicSynthesis(t *testing.T) {
+	rj := meda.RoutingJob{
+		Start:  meda.Rect{XA: 1, YA: 1, XB: 3, YB: 3},
+		Goal:   meda.Rect{XA: 8, YA: 8, XB: 10, YB: 10},
+		Hazard: meda.Rect{XA: 1, YA: 1, XB: 10, YB: 10},
+	}
+	res, err := meda.Synthesize(rj, func(x, y int) float64 { return 1 }, meda.DefaultSynthOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-7) > 1e-9 {
+		t.Errorf("expected cycles = %v, want 7", res.Value)
+	}
+	if res.Stats.States != 67 {
+		t.Errorf("states = %d, want 67", res.Stats.States)
+	}
+}
+
+func TestPublicQueryParsing(t *testing.T) {
+	q, err := meda.ParseQuery("Rmin=? [ G !hazard & F goal ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Avoid != "hazard" || q.Reach != "goal" {
+		t.Errorf("query = %+v", q)
+	}
+	if _, err := meda.ParseQuery("gibberish"); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestPublicTrial(t *testing.T) {
+	cfg := meda.DefaultTrialConfig(7)
+	cfg.Executions = 1
+	res, err := meda.RunTrial(cfg, meda.MasterMix, meda.NewBaselineRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Successes != 1 {
+		t.Fatalf("trial = %+v", res)
+	}
+}
+
+func TestPublicFaultInjection(t *testing.T) {
+	cfg := meda.DefaultChipConfig()
+	cfg.Faults = meda.FaultPlan{
+		Mode: meda.FaultClustered, Fraction: 0.05, FailAfterLo: 1, FailAfterHi: 3,
+	}
+	c, err := meda.NewChip(cfg, meda.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trip every fault and check the health matrix exposes dead clusters.
+	for i := 0; i < 3; i++ {
+		c.Actuate(c.Bounds())
+	}
+	dead := 0
+	for y := 1; y <= cfg.H; y++ {
+		for x := 1; x <= cfg.W; x++ {
+			if c.Health(x, y) == 0 {
+				dead++
+			}
+		}
+	}
+	if dead == 0 {
+		t.Error("no dead microelectrodes after tripping faults")
+	}
+}
+
+// TestPublicAssayPipeline drives the DSL → planner → compiler pipeline
+// through the facade.
+func TestPublicAssayPipeline(t *testing.T) {
+	src := `
+assay facade-demo
+a = dis 16
+b = dis 16
+m = mix a b
+r = mag m hold=10
+out r
+`
+	g, err := meda.ParseAssay(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "facade-demo" || len(g.Ops) != 5 {
+		t.Fatalf("graph = %+v", g)
+	}
+	cfg := meda.DefaultChipConfig()
+	placed, err := meda.PlaceAssay(g, cfg.W, cfg.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := placed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := meda.CompileGraph(g, cfg.W, cfg.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And it runs.
+	rsrc := meda.NewSource(21)
+	c, err := meda.NewChip(cfg, rsrc.Split("chip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := meda.NewRunner(meda.DefaultSimConfig(), c, meda.NewBaselineRouter(), rsrc.Split("sim"))
+	exec, err := runner.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Success {
+		t.Fatalf("facade pipeline failed: %+v", exec)
+	}
+}
+
+// TestPublicBenchmarkNames: every exported benchmark constant builds.
+func TestPublicBenchmarkNames(t *testing.T) {
+	for _, b := range []meda.Benchmark{
+		meda.MasterMix, meda.CEP, meda.SerialDilution, meda.NuIP,
+		meda.CovidRAT, meda.CovidPCR, meda.ChIP, meda.InVitro,
+		meda.GeneExpression, meda.Protein, meda.PCRMix,
+	} {
+		if _, err := meda.CompileBenchmark(b, meda.DefaultChipConfig(), 16); err != nil {
+			t.Errorf("%v: %v", b, err)
+		}
+	}
+}
