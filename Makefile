@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 verification plus the race detector over the full tree.
+verify: build vet test race
+
+# Synthesis-engine benchmarks with allocation stats; results are recorded in
+# BENCH_synthesis.json so the performance trajectory is tracked across PRs.
+bench:
+	$(GO) run ./cmd/medabench -out BENCH_synthesis.json
+	$(GO) test -run '^$$' -bench 'BenchmarkTableVSynthesisParallel|BenchmarkAblationResynthesisCache' -benchmem .

@@ -118,6 +118,41 @@ func BenchmarkTableVSynthesis(b *testing.B) {
 	}
 }
 
+// BenchmarkTableVSynthesisParallel compares the sequential and chunk-parallel
+// solver paths on the largest Table V row (30×30 area, 4×4 droplet). The
+// "gauss-seidel" and "jacobi-seq" sub-runs are the sequential references; the
+// "jacobi-par" sub-run uses GOMAXPROCS sweep workers over the CSR matrix.
+func BenchmarkTableVSynthesisParallel(b *testing.B) {
+	worn := func(x, y int) float64 { return 0.81 }
+	rj := route.RJ{
+		Start:  meda.Rect{XA: 1, YA: 1, XB: 4, YB: 4},
+		Goal:   meda.Rect{XA: 27, YA: 27, XB: 30, YB: 30},
+		Hazard: meda.Rect{XA: 1, YA: 1, XB: 30, YB: 30},
+	}
+	variants := []struct {
+		name    string
+		method  mdp.SolverMethod
+		workers int
+	}{
+		{"gauss-seidel", mdp.GaussSeidel, 0},
+		{"jacobi-seq", mdp.Jacobi, 1},
+		{"jacobi-par", mdp.Jacobi, 0}, // 0 = GOMAXPROCS sweep workers
+	}
+	for _, v := range variants {
+		opt := synth.DefaultOptions()
+		opt.Solver.Method = v.method
+		opt.Solver.Workers = v.workers
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := synth.Synthesize(rj, worn, opt)
+				if err != nil || !res.Exists() {
+					b.Fatalf("synthesis failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
 // --- Figure 15: probability of successful completion ---------------------
 
 func BenchmarkFig15PoS(b *testing.B) {
@@ -310,6 +345,49 @@ func BenchmarkAblationResynthesis(b *testing.B) {
 			b.ReportMetric(float64(lastCycles), "cycles-run6")
 		})
 	}
+}
+
+// BenchmarkAblationResynthesisCache measures re-synthesis of one degraded
+// routing job cold (fresh router, empty cache — every route synthesizes) vs
+// warm (health-keyed strategy cache hit). The gap is the cache's payoff when
+// the health matrix is stable between consecutive routes of the same job.
+func BenchmarkAblationResynthesisCache(b *testing.B) {
+	cfg := chip.Default()
+	src := randx.New(7)
+	c, err := chip.New(cfg, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := route.RJ{
+		Start:  meda.Rect{XA: 10, YA: 10, XB: 13, YB: 13},
+		Goal:   meda.Rect{XA: 30, YA: 15, XB: 33, YB: 18},
+		Hazard: meda.Rect{XA: 7, YA: 7, XB: 36, YB: 21},
+	}
+	// Degrade the hazard region so the offline-library fast path does not
+	// apply and routing goes through online synthesis + cache.
+	for i := 0; i < 3000; i++ {
+		c.Actuate(job.Hazard)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := sched.NewAdaptive()
+			if _, _, err := a.Route(job, c, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		a := sched.NewAdaptive()
+		if _, _, err := a.Route(job, c, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := a.Route(job, c, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Core micro-benchmarks ------------------------------------------------

@@ -1,0 +1,189 @@
+// Command medabench runs the synthesis-engine benchmarks and records the
+// results as JSON, so the performance trajectory is tracked across changes:
+//
+//	medabench -out BENCH_synthesis.json
+//
+// The suite covers the synthesis hot path of Table V (model construction +
+// value iteration), the sequential-vs-parallel solver comparison, and the
+// cold-vs-warm strategy cache for re-synthesis. Derived ratios
+// (parallel_speedup, warm_cache_speedup) are computed from the same runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"meda"
+	"meda/internal/chip"
+	"meda/internal/degrade"
+	"meda/internal/mdp"
+	"meda/internal/randx"
+	"meda/internal/sched"
+	"meda/internal/smg"
+	"meda/internal/synth"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Generated  string             `json:"generated"`
+	GoMaxProcs int                `json:"go_max_procs"`
+	NumCPU     int                `json:"num_cpu"`
+	Benchmarks []result           `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+func record(rep *report, name string, f func(b *testing.B)) result {
+	r := testing.Benchmark(f)
+	res := result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	rep.Benchmarks = append(rep.Benchmarks, res)
+	fmt.Printf("%-42s %12.0f ns/op %12d B/op %9d allocs/op\n",
+		name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	return res
+}
+
+func main() {
+	out := flag.String("out", "BENCH_synthesis.json", "output JSON path")
+	flag.Parse()
+
+	// Open the output up front so a bad path fails before, not after, the
+	// benchmark runs.
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medabench: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := &report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Derived:    map[string]float64{},
+	}
+	worn := func(x, y int) float64 { return 0.81 }
+
+	// Table V synthesis rows: full pipeline (Induce + solve + extract).
+	for _, area := range []int{10, 20, 30} {
+		rj := meda.RoutingJob{
+			Start:  meda.Rect{XA: 1, YA: 1, XB: 4, YB: 4},
+			Goal:   meda.Rect{XA: area - 3, YA: area - 3, XB: area, YB: area},
+			Hazard: meda.Rect{XA: 1, YA: 1, XB: area, YB: area},
+		}
+		record(rep, fmt.Sprintf("table_v_synthesis/%dx%d", area, area), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := synth.Synthesize(rj, worn, synth.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Model construction in isolation (Table V's construction column).
+	record(rep, "model_construction/30x30", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := smg.Induce(
+				meda.Rect{XA: 1, YA: 1, XB: 30, YB: 30},
+				meda.Rect{XA: 1, YA: 1, XB: 4, YB: 4},
+				meda.Rect{XA: 27, YA: 27, XB: 30, YB: 30},
+				worn, smg.DefaultModelOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Solver comparison on one 30×30 model: Gauss-Seidel (sequential),
+	// Jacobi with one worker (sequential sweep), Jacobi with GOMAXPROCS
+	// workers (chunk-parallel sweep).
+	model, err := smg.Induce(
+		meda.Rect{XA: 1, YA: 1, XB: 30, YB: 30},
+		meda.Rect{XA: 1, YA: 1, XB: 4, YB: 4},
+		meda.Rect{XA: 27, YA: 27, XB: 30, YB: 30},
+		worn, smg.DefaultModelOptions())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medabench: %v\n", err)
+		os.Exit(1)
+	}
+	solve := func(opt mdp.SolveOptions) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := model.M.MinExpectedReward(model.Goal, model.Hazard, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	gs := record(rep, "solver/gauss-seidel", solve(mdp.SolveOptions{Method: mdp.GaussSeidel}))
+	j1 := record(rep, "solver/jacobi-seq", solve(mdp.SolveOptions{Method: mdp.Jacobi, Workers: 1}))
+	jp := record(rep, fmt.Sprintf("solver/jacobi-par%d", runtime.GOMAXPROCS(0)),
+		solve(mdp.SolveOptions{Method: mdp.Jacobi, Workers: 0}))
+	rep.Derived["parallel_speedup_vs_jacobi_seq"] = j1.NsPerOp / jp.NsPerOp
+	rep.Derived["parallel_speedup_vs_gauss_seidel"] = gs.NsPerOp / jp.NsPerOp
+
+	// Re-synthesis: cold (synthesize every time) vs warm (health-keyed
+	// strategy cache hit). The chip region is degraded so the library fast
+	// path does not apply and the cache path is exercised.
+	cfg := chip.Default()
+	cfg.Normal = degrade.ParamRange{Tau1: 0.5, Tau2: 0.9, C1: 200, C2: 500}
+	c, err := chip.New(cfg, randx.New(7))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medabench: %v\n", err)
+		os.Exit(1)
+	}
+	job := meda.RoutingJob{
+		Start:  meda.Rect{XA: 10, YA: 10, XB: 13, YB: 13},
+		Goal:   meda.Rect{XA: 30, YA: 15, XB: 33, YB: 18},
+		Hazard: meda.Rect{XA: 7, YA: 7, XB: 36, YB: 21},
+	}
+	for i := 0; i < 3000; i++ {
+		c.Actuate(job.Hazard)
+	}
+	cold := record(rep, "resynthesis/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := sched.NewAdaptive() // fresh router: empty cache every time
+			if _, _, err := a.Route(job, c, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	warmRouter := sched.NewAdaptive()
+	if _, _, err := warmRouter.Route(job, c, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "medabench: %v\n", err)
+		os.Exit(1)
+	}
+	warm := record(rep, "resynthesis/warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := warmRouter.Route(job, c, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Derived["warm_cache_speedup"] = cold.NsPerOp / warm.NsPerOp
+
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "medabench: %v\n", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("\nparallel speedup (jacobi seq → par): %.2fx\n", rep.Derived["parallel_speedup_vs_jacobi_seq"])
+	fmt.Printf("warm-cache speedup (cold → warm):    %.0fx\n", rep.Derived["warm_cache_speedup"])
+	fmt.Printf("wrote %s\n", *out)
+}

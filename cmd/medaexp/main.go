@@ -19,7 +19,10 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 2021, "experiment seed")
 	quick := flag.Bool("quick", false, "shrink trial counts for a fast run")
+	workers := flag.Int("workers", -1, "background synthesis workers for adaptive routers (0 = GOMAXPROCS, negative = synchronous routing)")
+	cacheSize := flag.Int("cache", -1, "strategy-cache bound for adaptive routers (0 disables, negative = default)")
 	flag.Parse()
+	exp.SetRouterConfig(*workers, *cacheSize)
 	targets := flag.Args()
 	if len(targets) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: medaexp [-seed N] [-quick] fig2|fig3|fig5|fig6|fig7|fig15|fig16|tab4|tab5|recovery|bits|alphabet|ttr|all")

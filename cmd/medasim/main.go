@@ -38,6 +38,8 @@ func main() {
 	faults := flag.String("faults", "none", "fault injection: none, uniform, clustered")
 	fraction := flag.Float64("fraction", 0.12, "fraction of faulty microelectrodes")
 	file := flag.String("file", "", "run a custom assay from a .assay description file instead of a named benchmark")
+	workers := flag.Int("workers", 0, "background synthesis workers for the adaptive router (0 = GOMAXPROCS, negative = synchronous routing)")
+	cacheSize := flag.Int("cache", -1, "strategy-cache bound for the adaptive router (0 disables, negative = default)")
 	flag.Parse()
 
 	var bench meda.Benchmark
@@ -109,7 +111,11 @@ func main() {
 		}
 		var r meda.Router
 		if name == "adaptive" {
-			r = meda.NewAdaptiveRouter()
+			if *workers < 0 {
+				r = meda.NewAdaptiveRouter()
+			} else {
+				r = meda.NewParallelAdaptiveRouter(*workers, *cacheSize)
+			}
 		} else {
 			r = meda.NewBaselineRouter()
 		}

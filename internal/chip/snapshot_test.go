@@ -1,0 +1,49 @@
+package chip
+
+import (
+	"testing"
+
+	"meda/internal/geom"
+	"meda/internal/randx"
+)
+
+// TestSnapshotForceFieldIsImmutable: the snapshot must match the observed
+// field at capture time and stay frozen while the live chip keeps wearing.
+func TestSnapshotForceFieldIsImmutable(t *testing.T) {
+	c, err := New(Default(), randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := geom.Rect{XA: 5, YA: 5, XB: 20, YB: 15}
+	// Wear the region enough for health codes to drop below pristine.
+	for i := 0; i < 400; i++ {
+		c.Actuate(region)
+	}
+	snap := c.SnapshotForceField(region)
+	live := c.ObservedForceField()
+	check := region.Expand(2)
+	for y := check.YA; y <= check.YB; y++ {
+		for x := check.XA; x <= check.XB; x++ {
+			if snap(x, y) != live(x, y) {
+				t.Fatalf("(%d,%d): snapshot %v, live %v", x, y, snap(x, y), live(x, y))
+			}
+		}
+	}
+	before := snap(10, 10)
+	for i := 0; i < 3000; i++ {
+		c.Actuate(region)
+	}
+	if snap(10, 10) != before {
+		t.Error("snapshot changed after further actuation")
+	}
+	if live(10, 10) >= before {
+		t.Error("live field did not degrade; test is vacuous")
+	}
+	// Outside the snapshot margin the field reads 0, like off-chip cells.
+	if v := snap(40, 25); v != 0 {
+		t.Errorf("outside snapshot: got %v, want 0", v)
+	}
+	if v := snap(0, 0); v != 0 {
+		t.Errorf("off-chip: got %v, want 0", v)
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"meda/internal/chip"
 	"meda/internal/randx"
 	"meda/internal/route"
-	"meda/internal/sched"
 	"meda/internal/sim"
 	"meda/internal/stats"
 	"meda/internal/synth"
@@ -71,7 +70,7 @@ func HealthBits(cfg HealthBitsConfig) ([]HealthBitsRow, error) {
 			}
 			simCfg := sim.DefaultConfig()
 			simCfg.KMax = cfg.KMax
-			runner := sim.NewRunner(simCfg, c, sched.NewAdaptive(), src.Split("sim"))
+			runner := sim.NewRunner(simCfg, c, newAdaptive(), src.Split("sim"))
 			for e := 0; e < cfg.Executions; e++ {
 				exec, err := runner.Execute(plan)
 				if err != nil {

@@ -25,7 +25,39 @@ import (
 	"text/tabwriter"
 
 	"meda/internal/geom"
+	"meda/internal/sched"
 )
+
+// Router configuration for the drivers, set once from command-line flags
+// before any experiment runs (not safe to change mid-experiment). The
+// defaults build the synchronous, deterministic adaptive router.
+var (
+	routerWorkers   = -1 // negative: no background synthesis pool
+	routerCacheSize = -1 // negative: default cache bound; 0 disables
+)
+
+// SetRouterConfig configures how experiment drivers build adaptive routers:
+// workers >= 0 enables a background synthesis pool of that size (0 means
+// GOMAXPROCS); cacheSize bounds the strategy cache (0 disables it, negative
+// keeps the default). Call before running any driver.
+func SetRouterConfig(workers, cacheSize int) {
+	routerWorkers = workers
+	routerCacheSize = cacheSize
+}
+
+// newAdaptive builds an adaptive router per the configured parallelism.
+func newAdaptive() *sched.Adaptive {
+	if routerWorkers < 0 {
+		a := sched.NewAdaptive()
+		if routerCacheSize == 0 {
+			a.Cache = nil
+		} else if routerCacheSize > 0 {
+			a.Cache = sched.NewCache(routerCacheSize)
+		}
+		return a
+	}
+	return sched.NewAdaptiveParallel(routerWorkers, routerCacheSize)
+}
 
 // newTable returns a tabwriter for aligned experiment output.
 func newTable(w io.Writer) *tabwriter.Writer {

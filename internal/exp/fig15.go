@@ -130,7 +130,7 @@ func compilePlan(cc chip.Config, bench assay.Benchmark, area int) (*route.Plan, 
 
 func newRouter(name string) sched.Router {
 	if name == "adaptive" {
-		return sched.NewAdaptive()
+		return newAdaptive()
 	}
 	return sched.NewBaseline()
 }

@@ -77,7 +77,7 @@ func Recovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 	controllers := []controller{
 		{"baseline", func() sched.Router { return sched.NewBaseline() }, false},
 		{"reactive", func() sched.Router { return sched.NewBaseline() }, true},
-		{"adaptive", func() sched.Router { return sched.NewAdaptive() }, false},
+		{"adaptive", func() sched.Router { return newAdaptive() }, false},
 	}
 	var out []RecoveryRow
 	for _, bench := range cfg.Assays {

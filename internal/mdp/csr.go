@@ -1,0 +1,377 @@
+// Compressed-sparse-row flattening of the MDP. The builder API of mdp.go
+// stores a pointer-chasing [][]Choice graph, which is convenient to grow but
+// hostile to the value-iteration hot loop: every sweep walks three levels of
+// slices with poor locality. flatten() packs the whole model once per Solve
+// into five contiguous arrays (state → choice offsets, choice → transition
+// offsets, per-choice action/reward, per-transition successor/probability),
+// so a Bellman backup is two tight index-range loops over sequential memory.
+//
+// The same layout carries a reverse-edge index (successor → incoming
+// choices), which turns the qualitative Prob1E pass from repeated forward
+// scans into a worklist propagation, and it is the substrate for the
+// chunk-parallel Jacobi sweeps: states are split into contiguous chunks and
+// updated by a sync.WaitGroup worker pool sized by GOMAXPROCS. Jacobi reads
+// only the previous iterate, so the parallel result is bit-identical to the
+// sequential one; Gauss-Seidel remains the sequential option.
+package mdp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// csr is the flattened model. Offsets are int32: routing models have well
+// under 2^31 choices/transitions, and the narrower indices halve the memory
+// traffic of a sweep.
+type csr struct {
+	n         int       // number of states
+	stateOff  []int32   // len n+1: choices of state s are [stateOff[s], stateOff[s+1])
+	choiceOff []int32   // len numChoices+1: transitions of choice c are [choiceOff[c], choiceOff[c+1])
+	actions   []int32   // per choice: caller-supplied action id
+	rewards   []float64 // per choice
+	tos       []int32   // per transition: successor state
+	probs     []float64 // per transition
+
+	// Reverse-edge index over positive-probability transitions, built lazily
+	// by reverseIndex(): revChoice lists the (global) choice ids with an
+	// incoming edge to state t in [revOff[t], revOff[t+1]); choiceState maps
+	// a global choice id back to its owning state.
+	revOff      []int32
+	revChoice   []int32
+	choiceState []int32
+}
+
+// flatten packs the MDP into CSR form. Called once per Solve; the builder
+// slices stay authoritative for Choices()/export.
+func (m *MDP) flatten() *csr {
+	n := len(m.choices)
+	nc := m.NumChoices()
+	g := &csr{
+		n:         n,
+		stateOff:  make([]int32, n+1),
+		choiceOff: make([]int32, nc+1),
+		actions:   make([]int32, nc),
+		rewards:   make([]float64, nc),
+		tos:       make([]int32, m.numTr),
+		probs:     make([]float64, m.numTr),
+	}
+	ci, ti := int32(0), int32(0)
+	for s, cs := range m.choices {
+		g.stateOff[s] = ci
+		for _, c := range cs {
+			g.choiceOff[ci] = ti
+			g.actions[ci] = int32(c.Action)
+			g.rewards[ci] = c.Reward
+			for _, tr := range c.Transitions {
+				g.tos[ti] = int32(tr.To)
+				g.probs[ti] = tr.P
+				ti++
+			}
+			ci++
+		}
+	}
+	g.stateOff[n] = ci
+	g.choiceOff[nc] = ti
+	return g
+}
+
+// reverseIndex builds the successor → incoming-choice index (positive-
+// probability edges only, deduplicated per choice) plus the choice → state
+// map. Idempotent.
+func (g *csr) reverseIndex() {
+	if g.revOff != nil {
+		return
+	}
+	nc := len(g.actions)
+	g.choiceState = make([]int32, nc)
+	for s := 0; s < g.n; s++ {
+		for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
+			g.choiceState[ci] = int32(s)
+		}
+	}
+	// Counting pass. A choice may have several transitions into the same
+	// successor; deduplicate so the worklist visits each (choice, succ)
+	// pair once.
+	counts := make([]int32, g.n+1)
+	mark := make([]int32, g.n) // last choice that counted an edge into t
+	for i := range mark {
+		mark[i] = -1
+	}
+	for ci := 0; ci < nc; ci++ {
+		for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+			if g.probs[ti] <= 0 {
+				continue
+			}
+			t := g.tos[ti]
+			if mark[t] == int32(ci) {
+				continue
+			}
+			mark[t] = int32(ci)
+			counts[t+1]++
+		}
+	}
+	for t := 0; t < g.n; t++ {
+		counts[t+1] += counts[t]
+	}
+	g.revOff = counts
+	g.revChoice = make([]int32, counts[g.n])
+	next := make([]int32, g.n)
+	copy(next, counts[:g.n])
+	for i := range mark {
+		mark[i] = -1
+	}
+	for ci := 0; ci < nc; ci++ {
+		for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+			if g.probs[ti] <= 0 {
+				continue
+			}
+			t := g.tos[ti]
+			if mark[t] == int32(ci) {
+				continue
+			}
+			mark[t] = int32(ci)
+			g.revChoice[next[t]] = int32(ci)
+			next[t]++
+		}
+	}
+}
+
+// bellmanMax is max_c Σ_t P·src[t] over the choices of s (0 with none).
+func (g *csr) bellmanMax(s int, src []float64) float64 {
+	best := 0.0
+	for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
+		v := 0.0
+		for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+			v += g.probs[ti] * src[g.tos[ti]]
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// bellmanMin is min_c (reward_c + Σ_t P·src[t]) over the choices of s
+// (+Inf with none). Zero-probability transitions are skipped so 0·Inf does
+// not poison finite values.
+func (g *csr) bellmanMin(s int, src []float64) float64 {
+	best := math.Inf(1)
+	for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
+		v := g.rewards[ci]
+		for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+			if p := g.probs[ti]; p > 0 {
+				v += p * src[g.tos[ti]]
+			}
+		}
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// sweepWorkers resolves the worker count for a Jacobi sweep: opt.Workers,
+// defaulting to GOMAXPROCS, clamped so each worker gets a usefully large
+// chunk (tiny models are not worth the fan-out).
+func sweepWorkers(opt SolveOptions, n int) int {
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	const minChunk = 512
+	if max := (n + minChunk - 1) / minChunk; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// jacobiSweep computes dst[s] = bellman(s, src) for all non-frozen states
+// (frozen states copy through), fanning the state range out to workers
+// goroutines. It returns the max-norm residual and the smallest state id
+// attaining it; both are independent of the worker count.
+func (g *csr) jacobiSweep(frozen []bool, src, dst []float64, workers int,
+	bellman func(s int, src []float64) float64) (float64, int) {
+	type part struct {
+		delta float64
+		worst int
+	}
+	run := func(lo, hi int) part {
+		p := part{worst: -1}
+		for s := lo; s < hi; s++ {
+			if frozen[s] {
+				dst[s] = src[s]
+				continue
+			}
+			v := bellman(s, src)
+			dst[s] = v
+			if d := math.Abs(v - src[s]); d > p.delta {
+				p.delta = d
+				p.worst = s
+			}
+		}
+		return p
+	}
+	if workers <= 1 {
+		p := run(0, g.n)
+		return p.delta, p.worst
+	}
+	parts := make([]part, workers)
+	chunk := (g.n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > g.n {
+			hi = g.n
+		}
+		if lo >= hi {
+			parts[w] = part{worst: -1}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = run(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best := part{worst: -1}
+	for _, p := range parts {
+		// Deterministic merge: larger delta wins; ties keep the smaller
+		// state id (parts are in state order).
+		if p.worst >= 0 && (p.delta > best.delta || best.worst < 0) {
+			best = p
+		}
+	}
+	return best.delta, best.worst
+}
+
+// iterate runs value iteration over the CSR model until the max-norm
+// residual drops below eps, with Gauss-Seidel updating vals in place and
+// Jacobi ping-ponging two buffers across the parallel sweep. On success the
+// converged values are in vals and the iteration count is returned; on
+// exhaustion it returns a *ConvergenceError naming the worst state.
+func (g *csr) iterate(vals []float64, frozen []bool, opt SolveOptions,
+	bellman func(s int, src []float64) float64) (int, error) {
+	if opt.Method == Jacobi {
+		workers := sweepWorkers(opt, g.n)
+		src := vals
+		dst := make([]float64, g.n)
+		for iters := 0; iters < opt.MaxIter; iters++ {
+			delta, worst := g.jacobiSweep(frozen, src, dst, workers, bellman)
+			src, dst = dst, src
+			if delta < opt.Eps {
+				if &src[0] != &vals[0] {
+					copy(vals, src)
+				}
+				return iters + 1, nil
+			}
+			if iters == opt.MaxIter-1 {
+				if &src[0] != &vals[0] {
+					copy(vals, src)
+				}
+				return iters + 1, g.convergenceError(worst, delta, opt.MaxIter)
+			}
+		}
+		return 0, g.convergenceError(-1, math.Inf(1), opt.MaxIter)
+	}
+	// Gauss-Seidel: sequential in-place sweeps.
+	for iters := 0; iters < opt.MaxIter; iters++ {
+		delta := 0.0
+		worst := -1
+		for s := 0; s < g.n; s++ {
+			if frozen[s] {
+				continue
+			}
+			v := bellman(s, vals)
+			if d := math.Abs(v - vals[s]); d > delta {
+				delta = d
+				worst = s
+			}
+			vals[s] = v
+		}
+		if delta < opt.Eps {
+			return iters + 1, nil
+		}
+		if iters == opt.MaxIter-1 {
+			return iters + 1, g.convergenceError(worst, delta, opt.MaxIter)
+		}
+	}
+	return 0, g.convergenceError(-1, math.Inf(1), opt.MaxIter)
+}
+
+// convergenceError labels an exhausted iteration with the state that was
+// still changing and its first action, so failures in generated models point
+// at the offending region instead of a bare "did not converge".
+func (g *csr) convergenceError(worst int, delta float64, iters int) error {
+	e := &ConvergenceError{State: StateID(worst), Action: -1, Delta: delta, Iterations: iters}
+	if worst >= 0 && g.stateOff[worst] < g.stateOff[worst+1] {
+		e.Action = int(g.actions[g.stateOff[worst]])
+	}
+	return e
+}
+
+// prob1E is the qualitative almost-sure-reachability pass over the CSR
+// model: the greatest fixpoint over U of "can reach target with positive
+// probability using choices that stay inside U". The inner least fixpoint is
+// a backward worklist over the reverse-edge index — each outer round costs
+// one scan of the transitions (to refresh per-choice leave-U counts) plus
+// work proportional to the edges actually propagated, instead of repeated
+// full forward sweeps.
+func (g *csr) prob1E(target, avoid []bool) []bool {
+	g.reverseIndex()
+	nc := len(g.actions)
+	inU := make([]bool, g.n)
+	for s := 0; s < g.n; s++ {
+		inU[s] = avoid == nil || !avoid[s]
+	}
+	inR := make([]bool, g.n)
+	bad := make([]int32, nc) // per choice: #positive transitions leaving U
+	queue := make([]int32, 0, g.n)
+	for {
+		for ci := range bad {
+			bad[ci] = 0
+		}
+		for ci := 0; ci < nc; ci++ {
+			for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+				if g.probs[ti] > 0 && !inU[g.tos[ti]] {
+					bad[ci]++
+				}
+			}
+		}
+		queue = queue[:0]
+		for s := 0; s < g.n; s++ {
+			inR[s] = inU[s] && target[s]
+			if inR[s] {
+				queue = append(queue, int32(s))
+			}
+		}
+		for len(queue) > 0 {
+			t := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for ri := g.revOff[t]; ri < g.revOff[t+1]; ri++ {
+				ci := g.revChoice[ri]
+				s := g.choiceState[ci]
+				if !inU[s] || inR[s] || bad[ci] > 0 {
+					continue
+				}
+				inR[s] = true
+				queue = append(queue, s)
+			}
+		}
+		same := true
+		for s := 0; s < g.n; s++ {
+			if inU[s] != inR[s] {
+				same = false
+			}
+			inU[s] = inR[s]
+		}
+		if same {
+			return inU
+		}
+	}
+}

@@ -93,29 +93,31 @@ func (m *MDP) Choices(s StateID) []Choice { return m.choices[s] }
 
 // Validate checks structural sanity: transition targets in range,
 // probabilities in [0,1] summing to 1 per choice (within eps), non-negative
-// rewards.
+// rewards. Errors name the state id, the choice index, and the
+// caller-supplied action id, so a bad choice in a generated model can be
+// traced back to the microfluidic action that produced it.
 func (m *MDP) Validate() error {
 	const eps = 1e-9
 	for s, cs := range m.choices {
 		for ci, c := range cs {
 			if len(c.Transitions) == 0 {
-				return fmt.Errorf("mdp: state %d choice %d has no transitions", s, ci)
+				return fmt.Errorf("mdp: state %d choice %d (action %d) has no transitions", s, ci, c.Action)
 			}
 			if c.Reward < 0 {
-				return fmt.Errorf("mdp: state %d choice %d has negative reward", s, ci)
+				return fmt.Errorf("mdp: state %d choice %d (action %d) has negative reward %v", s, ci, c.Action, c.Reward)
 			}
 			total := 0.0
 			for _, tr := range c.Transitions {
 				if tr.To < 0 || int(tr.To) >= len(m.choices) {
-					return fmt.Errorf("mdp: state %d choice %d targets out-of-range state %d", s, ci, tr.To)
+					return fmt.Errorf("mdp: state %d choice %d (action %d) targets out-of-range state %d", s, ci, c.Action, tr.To)
 				}
 				if tr.P < -eps || tr.P > 1+eps {
-					return fmt.Errorf("mdp: state %d choice %d has probability %v", s, ci, tr.P)
+					return fmt.Errorf("mdp: state %d choice %d (action %d) has probability %v", s, ci, c.Action, tr.P)
 				}
 				total += tr.P
 			}
 			if math.Abs(total-1) > 1e-6 {
-				return fmt.Errorf("mdp: state %d choice %d probabilities sum to %v", s, ci, total)
+				return fmt.Errorf("mdp: state %d choice %d (action %d) probabilities sum to %v", s, ci, c.Action, total)
 			}
 		}
 	}
@@ -160,6 +162,11 @@ type SolveOptions struct {
 	Method  SolverMethod
 	Eps     float64 // convergence threshold on the max-norm; default 1e-9
 	MaxIter int     // iteration cap; default 1e6
+	// Workers bounds the goroutines used for Jacobi sweeps: 0 means
+	// GOMAXPROCS, 1 forces a sequential sweep. Gauss-Seidel updates in
+	// place and is always sequential. The Jacobi result is independent of
+	// Workers (each sweep reads only the previous iterate).
+	Workers int
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -180,7 +187,29 @@ type Result struct {
 }
 
 // ErrNoConvergence is returned when value iteration hits the iteration cap.
+// Solvers wrap it in a *ConvergenceError naming the offending state; match
+// with errors.Is / errors.As.
 var ErrNoConvergence = errors.New("mdp: value iteration did not converge")
+
+// ConvergenceError reports where value iteration was still changing when it
+// exhausted MaxIter: the state with the largest residual in the final sweep,
+// the caller-supplied action id of that state's first choice (-1 when the
+// state has none), and the residual itself.
+type ConvergenceError struct {
+	State      StateID
+	Action     int
+	Delta      float64
+	Iterations int
+}
+
+// Error implements error.
+func (e *ConvergenceError) Error() string {
+	return fmt.Sprintf("mdp: value iteration did not converge after %d iterations (state %d, action %d, residual %g)",
+		e.Iterations, e.State, e.Action, e.Delta)
+}
+
+// Unwrap makes errors.Is(err, ErrNoConvergence) hold.
+func (e *ConvergenceError) Unwrap() error { return ErrNoConvergence }
 
 // MaxReachProb computes Pmax(s ⊨ ◇target) for every state, treating avoid
 // states as losing (their value is pinned to 0 and their choices ignored),
@@ -192,98 +221,78 @@ func (m *MDP) MaxReachProb(target, avoid []bool, opt SolveOptions) (Result, erro
 	if len(target) != n || (avoid != nil && len(avoid) != n) {
 		return Result{}, errors.New("mdp: label vector length mismatch")
 	}
+	g := m.flatten()
 	vals := make([]float64, n)
+	frozen := make([]bool, n)
 	for s := 0; s < n; s++ {
 		if target[s] && (avoid == nil || !avoid[s]) {
 			vals[s] = 1
 		}
+		frozen[s] = target[s] || (avoid != nil && avoid[s]) || g.stateOff[s] == g.stateOff[s+1]
 	}
-	frozen := func(s int) bool {
-		return target[s] || (avoid != nil && avoid[s]) || len(m.choices[s]) == 0
-	}
-	var prev []float64
-	if opt.Method == Jacobi {
-		prev = make([]float64, n)
-	}
-	iters := 0
-	for ; iters < opt.MaxIter; iters++ {
-		delta := 0.0
-		src := vals
-		if opt.Method == Jacobi {
-			copy(prev, vals)
-			src = prev
-		}
-		for s := 0; s < n; s++ {
-			if frozen(s) {
-				continue
-			}
-			best := 0.0
-			for _, c := range m.choices[s] {
-				v := 0.0
-				for _, tr := range c.Transitions {
-					v += tr.P * src[tr.To]
-				}
-				if v > best {
-					best = v
-				}
-			}
-			if d := math.Abs(best - vals[s]); d > delta {
-				delta = d
-			}
-			vals[s] = best
-		}
-		if delta < opt.Eps {
-			iters++
-			break
-		}
-	}
-	if iters >= opt.MaxIter {
-		return Result{}, ErrNoConvergence
+	iters, err := g.iterate(vals, frozen, opt, g.bellmanMax)
+	if err != nil {
+		return Result{}, err
 	}
 	// Extract an optimal *proper* strategy. Picking any value-maximizing
 	// choice is not enough for reachability: two value-1 states can
 	// maximize by cycling between each other forever. Build the policy
 	// backward from the target instead — a state adopts a maximizing
 	// choice only once that choice has a positive-probability transition
-	// to an already-resolved state, so every step makes progress.
+	// to an already-resolved state, so every step makes progress. The
+	// resolution front is propagated over the reverse-edge index: a state
+	// is (re)examined only when one of its successors resolves, instead of
+	// rescanning all states to fixpoint.
+	g.reverseIndex()
 	strat := make(Strategy, n)
 	for s := 0; s < n; s++ {
 		strat[s] = -1
 	}
 	done := make([]bool, n)
+	queue := make([]int32, 0, n)
 	for s := 0; s < n; s++ {
 		if target[s] && (avoid == nil || !avoid[s]) {
 			done[s] = true
+			queue = append(queue, int32(s))
 		}
 	}
-	for changed := true; changed; {
-		changed = false
-		for s := 0; s < n; s++ {
-			if done[s] || frozen(s) || vals[s] == 0 {
+	// resolve adopts the first maximizing choice of s with a resolved
+	// successor, reporting whether s became resolved.
+	resolve := func(s int) bool {
+		for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
+			v := 0.0
+			progress := false
+			for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+				v += g.probs[ti] * vals[g.tos[ti]]
+				if g.probs[ti] > 0 && done[g.tos[ti]] {
+					progress = true
+				}
+			}
+			if progress && v >= vals[s]-1e-9 {
+				strat[s] = int(ci - g.stateOff[s])
+				return true
+			}
+		}
+		return false
+	}
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for ri := g.revOff[t]; ri < g.revOff[t+1]; ri++ {
+			s := int(g.choiceState[g.revChoice[ri]])
+			if done[s] || frozen[s] || vals[s] == 0 {
 				continue
 			}
-			for ci, c := range m.choices[s] {
-				v := 0.0
-				progress := false
-				for _, tr := range c.Transitions {
-					v += tr.P * vals[tr.To]
-					if tr.P > 0 && done[tr.To] {
-						progress = true
-					}
-				}
-				if progress && v >= vals[s]-1e-9 {
-					strat[s] = ci
-					done[s] = true
-					changed = true
-					break
-				}
+			if resolve(s) {
+				done[s] = true
+				queue = append(queue, int32(s))
 			}
 		}
 	}
 	// States with Pmax = 0 get an arbitrary (first) choice so callers can
 	// still walk the policy; it cannot matter.
 	for s := 0; s < n; s++ {
-		if strat[s] == -1 && !frozen(s) && len(m.choices[s]) > 0 {
+		if strat[s] == -1 && !frozen[s] && g.stateOff[s] < g.stateOff[s+1] {
 			strat[s] = 0
 		}
 	}
@@ -293,59 +302,10 @@ func (m *MDP) MaxReachProb(target, avoid []bool, opt SolveOptions) (Result, erro
 // Prob1E returns the set of states from which some strategy reaches a target
 // state with probability 1 while never entering an avoid state. This is the
 // standard qualitative algorithm (greatest fixpoint over a reach-closure),
-// and it determines where Rmin=?[◇target] is finite.
+// and it determines where Rmin=?[◇target] is finite. The fixpoint runs over
+// the CSR flattening with a reverse-edge worklist (see csr.go).
 func (m *MDP) Prob1E(target, avoid []bool) []bool {
-	n := m.NumStates()
-	inU := make([]bool, n)
-	for s := 0; s < n; s++ {
-		inU[s] = avoid == nil || !avoid[s]
-	}
-	inR := make([]bool, n)
-	for {
-		// Inner fixpoint: R = states in U that can reach target with
-		// positive probability using choices that stay inside U.
-		for s := 0; s < n; s++ {
-			inR[s] = inU[s] && target[s]
-		}
-		for changed := true; changed; {
-			changed = false
-			for s := 0; s < n; s++ {
-				if !inU[s] || inR[s] {
-					continue
-				}
-			choiceLoop:
-				for _, c := range m.choices[s] {
-					hits := false
-					for _, tr := range c.Transitions {
-						if tr.P == 0 {
-							continue
-						}
-						if !inU[tr.To] {
-							continue choiceLoop
-						}
-						if inR[tr.To] {
-							hits = true
-						}
-					}
-					if hits {
-						inR[s] = true
-						changed = true
-						break
-					}
-				}
-			}
-		}
-		same := true
-		for s := 0; s < n; s++ {
-			if inU[s] != inR[s] {
-				same = false
-			}
-			inU[s] = inR[s]
-		}
-		if same {
-			return inU
-		}
-	}
+	return m.flatten().prob1E(target, avoid)
 }
 
 // MinExpectedReward computes Rmin(s ⊨ ◇target): the minimum expected
@@ -358,75 +318,36 @@ func (m *MDP) MinExpectedReward(target, avoid []bool, opt SolveOptions) (Result,
 	if len(target) != n || (avoid != nil && len(avoid) != n) {
 		return Result{}, errors.New("mdp: label vector length mismatch")
 	}
-	as := m.Prob1E(target, avoid)
+	g := m.flatten()
+	as := g.prob1E(target, avoid)
 	vals := make([]float64, n)
+	frozen := make([]bool, n)
 	for s := 0; s < n; s++ {
 		if !as[s] {
 			vals[s] = math.Inf(1)
 		}
+		frozen[s] = target[s] || !as[s] || g.stateOff[s] == g.stateOff[s+1]
 	}
-	frozen := func(s int) bool {
-		return target[s] || !as[s] || len(m.choices[s]) == 0
-	}
-	var prev []float64
-	if opt.Method == Jacobi {
-		prev = make([]float64, n)
-	}
-	iters := 0
-	for ; iters < opt.MaxIter; iters++ {
-		delta := 0.0
-		src := vals
-		if opt.Method == Jacobi {
-			copy(prev, vals)
-			src = prev
-		}
-		for s := 0; s < n; s++ {
-			if frozen(s) {
-				continue
-			}
-			best := math.Inf(1)
-			for _, c := range m.choices[s] {
-				v := c.Reward
-				for _, tr := range c.Transitions {
-					if tr.P == 0 {
-						continue
-					}
-					v += tr.P * src[tr.To]
-				}
-				if v < best {
-					best = v
-				}
-			}
-			if d := math.Abs(best - vals[s]); d > delta {
-				delta = d
-			}
-			vals[s] = best
-		}
-		if delta < opt.Eps {
-			iters++
-			break
-		}
-	}
-	if iters >= opt.MaxIter {
-		return Result{}, ErrNoConvergence
+	iters, err := g.iterate(vals, frozen, opt, g.bellmanMin)
+	if err != nil {
+		return Result{}, err
 	}
 	strat := make(Strategy, n)
 	for s := 0; s < n; s++ {
 		strat[s] = -1
-		if frozen(s) {
+		if frozen[s] {
 			continue
 		}
 		best, bi := math.Inf(1), -1
-		for ci, c := range m.choices[s] {
-			v := c.Reward
-			for _, tr := range c.Transitions {
-				if tr.P == 0 {
-					continue
+		for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
+			v := g.rewards[ci]
+			for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+				if p := g.probs[ti]; p > 0 {
+					v += p * vals[g.tos[ti]]
 				}
-				v += tr.P * vals[tr.To]
 			}
 			if v < best-1e-12 {
-				best, bi = v, ci
+				best, bi = v, int(ci-g.stateOff[s])
 			}
 		}
 		strat[s] = bi

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"meda/internal/geom"
+	"meda/internal/route"
+	"meda/internal/synth"
+)
+
+// DefaultCacheSize bounds the strategy cache of NewAdaptive.
+const DefaultCacheSize = 256
+
+// CacheKey identifies one synthesized strategy: the job's actual geometry,
+// a fingerprint of the synthesis options (query, action alphabet, solver),
+// and the hash of the observed health codes inside the job's hazard bounds.
+// Keying on the region's health hash makes the cache exactly as fresh as
+// Alg. 3 requires: any degradation inside the region changes the key (a
+// miss), while degradation elsewhere on the chip leaves it untouched (a
+// hit).
+type CacheKey struct {
+	Start, Goal, Hazard geom.Rect
+	Opts                uint64
+	Health              uint64
+}
+
+// NewCacheKey builds the key for a job under the given options and region
+// health hash (typically chip.HealthHash(rj.Hazard)). The rj must already be
+// dispense-normalized. Obstacle lists are deliberately not part of the key:
+// obstacles are transient droplet positions, and the router bypasses the
+// cache whenever they are present.
+func NewCacheKey(rj route.RJ, opt synth.Options, health uint64) CacheKey {
+	return CacheKey{
+		Start:  rj.Start,
+		Goal:   rj.Goal,
+		Hazard: rj.Hazard,
+		Opts:   fingerprintOptions(opt),
+		Health: health,
+	}
+}
+
+// fingerprintOptions hashes the solver-relevant option fields. Workers and
+// Method are excluded: every solver configuration converges to the same
+// optimal values, so strategies are interchangeable across them.
+func fingerprintOptions(opt synth.Options) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(opt.Query.String()))
+	word(math.Float64bits(opt.Model.MaxAspect))
+	word(math.Float64bits(opt.Model.ActionCost))
+	flags := uint64(0)
+	if opt.Model.AllowMorph {
+		flags |= 1
+	}
+	if opt.Model.AllowDouble {
+		flags |= 2
+	}
+	if opt.Model.AllowOrdinal {
+		flags |= 4
+	}
+	word(flags)
+	word(math.Float64bits(opt.Solver.Eps))
+	word(uint64(opt.Solver.MaxIter))
+	return h.Sum64()
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits, Misses, Evictions, Invalidations int
+}
+
+type cacheEntry struct {
+	key    CacheKey
+	policy synth.Policy
+	value  float64
+}
+
+// Cache memoizes synthesized routing strategies with LRU eviction under a
+// size bound. It is safe for concurrent use: the router's synchronous path
+// and the prefetch workers share one instance.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used; values are *cacheEntry
+	entries map[CacheKey]*list.Element
+	stats   CacheStats
+}
+
+// NewCache returns a cache holding at most size strategies; size <= 0 means
+// DefaultCacheSize.
+func NewCache(size int) *Cache {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	return &Cache{cap: size, ll: list.New(), entries: make(map[CacheKey]*list.Element)}
+}
+
+// Lookup returns the cached strategy for key, marking it most recently used.
+func (c *Cache) Lookup(key CacheKey) (synth.Policy, float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, 0, false
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.policy, e.value, true
+}
+
+// Contains reports whether key is cached without touching recency or stats.
+func (c *Cache) Contains(key CacheKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Store inserts (or refreshes) a strategy, evicting the least recently used
+// entry when the bound is exceeded.
+func (c *Cache) Store(key CacheKey, p synth.Policy, value float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.policy, e.value = p, value
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, policy: p, value: value})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Invalidate drops every entry whose hazard region intersects the degraded
+// region, returning how many were removed. Because keys already embed the
+// region's health hash, stale entries can never be served; Invalidate exists
+// to reclaim their space eagerly when the caller knows which
+// microelectrodes degraded.
+func (c *Cache) Invalidate(region geom.Rect) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if _, hit := e.key.Hazard.Intersect(region); hit {
+			c.ll.Remove(el)
+			delete(c.entries, e.key)
+			removed++
+		}
+		el = next
+	}
+	c.stats.Invalidations += removed
+	return removed
+}
+
+// Len returns the number of cached strategies.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,217 @@
+package sched
+
+import (
+	"testing"
+
+	"meda/internal/chip"
+	"meda/internal/degrade"
+	"meda/internal/randx"
+	"meda/internal/synth"
+)
+
+func wornChip(t *testing.T, seed uint64) *chip.Chip {
+	t.Helper()
+	cfg := chip.Default()
+	cfg.Normal = degrade.ParamRange{Tau1: 0.1, Tau2: 0.2, C1: 10, C2: 20}
+	c, err := chip.New(cfg, randx.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wear the standard job's region so the router takes the cache path.
+	for i := 0; i < 60; i++ {
+		c.Actuate(rect(14, 9, 17, 13))
+	}
+	return c
+}
+
+func TestCacheHitOnUnchangedHealth(t *testing.T) {
+	c := wornChip(t, 1)
+	cache := NewCache(8)
+	opt := synth.DefaultOptions()
+	key := NewCacheKey(job(), opt, c.HealthHash(job().Hazard))
+	cache.Store(key, tinyPolicy(), 9)
+	// Nothing happened to the chip: same key, same entry.
+	p, v, ok := cache.Lookup(NewCacheKey(job(), opt, c.HealthHash(job().Hazard)))
+	if !ok || v != 9 || len(p) != 1 {
+		t.Fatalf("lookup = %v/%v/%v, want hit", p, v, ok)
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheMissAfterDegradationInsideRegion(t *testing.T) {
+	c := wornChip(t, 2)
+	cache := NewCache(8)
+	opt := synth.DefaultOptions()
+	cache.Store(NewCacheKey(job(), opt, c.HealthHash(job().Hazard)), tinyPolicy(), 9)
+	// Degrade a pristine corner inside the hazard bounds.
+	for i := 0; i < 60; i++ {
+		c.Actuate(rect(8, 8, 10, 10))
+	}
+	if _, _, ok := cache.Lookup(NewCacheKey(job(), opt, c.HealthHash(job().Hazard))); ok {
+		t.Fatal("hit despite degradation inside the job's region")
+	}
+}
+
+func TestCacheHitAfterDegradationOutsideRegion(t *testing.T) {
+	c := wornChip(t, 3)
+	cache := NewCache(8)
+	opt := synth.DefaultOptions()
+	cache.Store(NewCacheKey(job(), opt, c.HealthHash(job().Hazard)), tinyPolicy(), 9)
+	// Degrade heavily, but far from the job's hazard bounds (which end at
+	// x=25): the health hash of the region is untouched.
+	for i := 0; i < 500; i++ {
+		c.Actuate(rect(40, 5, 55, 25))
+	}
+	if _, _, ok := cache.Lookup(NewCacheKey(job(), opt, c.HealthHash(job().Hazard))); !ok {
+		t.Fatal("miss despite degradation being outside the job's region")
+	}
+}
+
+func TestCacheEvictionUnderSizeBound(t *testing.T) {
+	cache := NewCache(3)
+	opt := synth.DefaultOptions()
+	keyN := func(n int) CacheKey {
+		rj := job()
+		rj.Start = rj.Start.Translate(0, n)
+		return NewCacheKey(rj, opt, 7)
+	}
+	for n := 0; n < 5; n++ {
+		cache.Store(keyN(n), tinyPolicy(), float64(n))
+	}
+	if cache.Len() != 3 {
+		t.Fatalf("len = %d, want 3", cache.Len())
+	}
+	if s := cache.Stats(); s.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", s.Evictions)
+	}
+	// The two oldest entries (0, 1) are gone; the newest three remain.
+	for n := 0; n < 2; n++ {
+		if _, _, ok := cache.Lookup(keyN(n)); ok {
+			t.Errorf("entry %d survived eviction", n)
+		}
+	}
+	for n := 2; n < 5; n++ {
+		if _, _, ok := cache.Lookup(keyN(n)); !ok {
+			t.Errorf("entry %d evicted too early", n)
+		}
+	}
+	// Recency matters: touching entry 2 makes 3 the eviction victim.
+	cache.Lookup(keyN(2))
+	cache.Store(keyN(5), tinyPolicy(), 5)
+	if _, _, ok := cache.Lookup(keyN(3)); ok {
+		t.Error("LRU victim should have been entry 3")
+	}
+	if _, _, ok := cache.Lookup(keyN(2)); !ok {
+		t.Error("recently used entry 2 must survive")
+	}
+}
+
+func TestCacheInvalidateByRegion(t *testing.T) {
+	cache := NewCache(8)
+	opt := synth.DefaultOptions()
+	near := job() // hazard (7,7)-(25,15)
+	far := job()
+	far.Start = far.Start.Translate(30, 10)
+	far.Goal = far.Goal.Translate(30, 10)
+	far.Hazard = far.Hazard.Translate(30, 10)
+	cache.Store(NewCacheKey(near, opt, 1), tinyPolicy(), 1)
+	cache.Store(NewCacheKey(far, opt, 2), tinyPolicy(), 2)
+	if n := cache.Invalidate(rect(20, 10, 22, 12)); n != 1 {
+		t.Fatalf("invalidated %d entries, want 1", n)
+	}
+	if _, _, ok := cache.Lookup(NewCacheKey(near, opt, 1)); ok {
+		t.Error("intersecting entry survived invalidation")
+	}
+	if _, _, ok := cache.Lookup(NewCacheKey(far, opt, 2)); !ok {
+		t.Error("non-intersecting entry was dropped")
+	}
+}
+
+func TestCacheKeySeparatesOptions(t *testing.T) {
+	a := synth.DefaultOptions()
+	b := synth.DefaultOptions()
+	b.Model.AllowDouble = !b.Model.AllowDouble
+	if NewCacheKey(job(), a, 1) == NewCacheKey(job(), b, 1) {
+		t.Error("different action alphabets must produce different keys")
+	}
+	c := synth.DefaultOptions()
+	c.Solver.Workers = 4 // solver parallelism must NOT affect the key
+	if NewCacheKey(job(), a, 1) != NewCacheKey(job(), c, 1) {
+		t.Error("worker count changed the cache key")
+	}
+}
+
+func TestAdaptivePrefetchWarmsCache(t *testing.T) {
+	c := wornChip(t, 4)
+	a := NewAdaptiveParallel(2, 16)
+	if !a.Prefetch(job(), c) {
+		t.Fatal("prefetch refused on an idle pool")
+	}
+	// A second prefetch of the same job is deduplicated (in flight or
+	// already cached).
+	if a.Prefetch(job(), c) {
+		t.Error("duplicate prefetch accepted")
+	}
+	a.Drain()
+	if a.PrefetchSyntheses() != 1 {
+		t.Fatalf("prefetch syntheses = %d, want 1", a.PrefetchSyntheses())
+	}
+	if _, _, err := a.Route(job(), c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Syntheses != 0 || a.CacheHits != 1 {
+		t.Fatalf("route after prefetch: syntheses=%d cacheHits=%d, want 0/1", a.Syntheses, a.CacheHits)
+	}
+}
+
+func TestAdaptivePrefetchMatchesSynchronousRoute(t *testing.T) {
+	c1 := wornChip(t, 5)
+	c2 := wornChip(t, 5)
+	warm := NewAdaptiveParallel(2, 16)
+	warm.Prefetch(job(), c1)
+	warm.Drain()
+	pw, vw, err := warm.Route(job(), c1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewAdaptive()
+	pc, vc, err := cold.Route(job(), c2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vw != vc {
+		t.Fatalf("prefetched value %v != synchronous value %v", vw, vc)
+	}
+	if len(pw) != len(pc) {
+		t.Fatalf("prefetched policy size %d != synchronous %d", len(pw), len(pc))
+	}
+	for d, act := range pc {
+		if pw[d] != act {
+			t.Fatalf("policies differ at %v: %v vs %v", d, pw[d], act)
+		}
+	}
+}
+
+func TestAdaptivePrefetchHealthyWarmsLibrary(t *testing.T) {
+	c := freshChip(t, 6)
+	a := NewAdaptiveParallel(2, 16)
+	if !a.Prefetch(job(), c) {
+		t.Fatal("prefetch refused")
+	}
+	a.Drain()
+	if !a.Lib.Contains(job()) {
+		t.Fatal("healthy prefetch did not warm the library")
+	}
+	if _, _, err := a.Route(job(), c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Syntheses != 0 || a.LibraryUses != 1 {
+		t.Fatalf("route after healthy prefetch: syntheses=%d lib=%d, want 0/1", a.Syntheses, a.LibraryUses)
+	}
+	// Once warmed, further prefetches of the same job are no-ops.
+	if a.Prefetch(job(), c) {
+		t.Error("prefetch accepted for an already-warmed job")
+	}
+}

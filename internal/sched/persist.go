@@ -45,6 +45,8 @@ func entryKey(e libraryEntry) libKey {
 // Save serializes the library as JSON. Entries are written in a stable
 // order so the output is reproducible.
 func (l *Library) Save(w io.Writer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	file := libraryFile{Version: 1}
 	keys := make([]libKey, 0, len(l.entries))
 	for k := range l.entries {
@@ -108,6 +110,8 @@ func (l *Library) Load(r io.Reader) error {
 	if file.Version != 1 {
 		return fmt.Errorf("sched: unsupported library version %d", file.Version)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, e := range file.Entries {
 		policy := make(synth.Policy, len(e.Policy))
 		for _, pe := range e.Policy {

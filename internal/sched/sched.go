@@ -6,6 +6,8 @@
 package sched
 
 import (
+	"sync"
+
 	"meda/internal/baseline"
 	"meda/internal/chip"
 	"meda/internal/geom"
@@ -72,10 +74,11 @@ type libEntry struct {
 }
 
 // Library is the offline strategy store of Alg. 3: strategies synthesized
-// assuming full health, keyed by the job's canonical geometry. It is not
-// safe for concurrent use; give each simulation its own Library (or share
-// one across sequential executions to model the persistent offline store).
+// assuming full health, keyed by the job's canonical geometry. It is safe
+// for concurrent use, so background prefetch workers can warm it while the
+// scheduler routes.
 type Library struct {
+	mu      sync.Mutex
 	entries map[libKey]libEntry
 	hits    int
 	misses  int
@@ -101,43 +104,116 @@ func canonical(rj route.RJ) (libKey, int, int) {
 // position, or ok=false on a miss.
 func (l *Library) Lookup(rj route.RJ) (synth.Policy, float64, bool) {
 	key, dx, dy := canonical(rj)
+	l.mu.Lock()
 	e, ok := l.entries[key]
 	if !ok {
 		l.misses++
+		l.mu.Unlock()
 		return nil, 0, false
 	}
 	l.hits++
+	l.mu.Unlock()
 	return e.policy.Translate(-dx, -dy), e.value, true
+}
+
+// Contains reports whether the library holds a strategy for the job's
+// canonical geometry, without touching the hit/miss counters. Prefetch uses
+// it to probe without distorting Stats.
+func (l *Library) Contains(rj route.RJ) bool {
+	key, _, _ := canonical(rj)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.entries[key]
+	return ok
 }
 
 // Store records a strategy synthesized under the no-degradation assumption.
 func (l *Library) Store(rj route.RJ, p synth.Policy, value float64) {
 	key, dx, dy := canonical(rj)
-	l.entries[key] = libEntry{policy: p.Translate(dx, dy), value: value}
+	e := libEntry{policy: p.Translate(dx, dy), value: value}
+	l.mu.Lock()
+	l.entries[key] = e
+	l.mu.Unlock()
 }
 
 // Stats returns (hits, misses, size).
 func (l *Library) Stats() (hits, misses, size int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.hits, l.misses, len(l.entries)
+}
+
+// RegionInvalidator is implemented by routers whose strategy caches can
+// eagerly drop entries overlapping a degraded region.
+type RegionInvalidator interface {
+	// InvalidateRegion removes cached strategies whose hazard bounds
+	// intersect region, returning how many were dropped.
+	InvalidateRegion(region geom.Rect) int
+}
+
+// Prefetcher is implemented by routers that can synthesize a job's strategy
+// in the background so a later Route call finds it ready. The simulator uses
+// it to pre-synthesize the next microfluidic operation's routing jobs while
+// the current one executes (Alg. 3's synthesis step moved off the critical
+// path).
+type Prefetcher interface {
+	// Prefetch starts a background synthesis for rj under the chip's
+	// current health, reporting whether a worker picked it up. The call
+	// itself never blocks on synthesis.
+	Prefetch(rj route.RJ, c *chip.Chip) bool
+	// Drain blocks until every accepted prefetch has finished.
+	Drain()
 }
 
 // Adaptive is the paper's router: Alg. 2 synthesis from the observed health
 // matrix, with the hybrid offline library shortcut of Alg. 3 — when every
 // microelectrode in the job's hazard bounds still reads fully healthy, the
-// pre-synthesized (or memoized) healthy-chip strategy is reused.
+// pre-synthesized (or memoized) healthy-chip strategy is reused. Degraded
+// regions go through the health-keyed strategy Cache, and an optional
+// synth.Pool pre-synthesizes upcoming jobs in the background.
 type Adaptive struct {
 	Opt synth.Options
 	Lib *Library
-	// Syntheses counts online synthesis runs (library misses and degraded
-	// regions); LibraryUses counts strategies served from the library.
+	// Cache memoizes degraded-region strategies keyed by job geometry,
+	// option fingerprint and the hazard region's health hash; nil disables
+	// memoization.
+	Cache *Cache
+	// Pool runs background pre-syntheses; nil disables Prefetch. Routers
+	// without a pool are fully deterministic (no goroutines).
+	Pool *synth.Pool
+
+	// Syntheses counts synchronous online synthesis runs (library misses
+	// and uncached degraded regions); LibraryUses counts strategies served
+	// from the library; CacheHits counts strategies served from Cache
+	// (including ones a prefetch worker put there).
 	Syntheses   int
 	LibraryUses int
+	CacheHits   int
+
+	mu sync.Mutex
+	// pending maps in-flight prefetches to their completion signal.
+	pending map[CacheKey]chan struct{}
+	// prefetchSyntheses counts background syntheses; guarded by mu because
+	// pool workers increment it.
+	prefetchSyntheses int
 }
 
 // NewAdaptive returns the adaptive router with the paper's default query
-// (Rmin) and a fresh library.
+// (Rmin), a fresh library, and a default-sized strategy cache. No worker
+// pool: routing is synchronous and deterministic.
 func NewAdaptive() *Adaptive {
-	return &Adaptive{Opt: synth.DefaultOptions(), Lib: NewLibrary()}
+	return &Adaptive{Opt: synth.DefaultOptions(), Lib: NewLibrary(), Cache: NewCache(DefaultCacheSize)}
+}
+
+// NewAdaptiveParallel returns an adaptive router with a prefetch pool of the
+// given size (0 means GOMAXPROCS) and a strategy cache bounded by cacheSize
+// entries (0 disables the cache, negative means DefaultCacheSize).
+func NewAdaptiveParallel(workers, cacheSize int) *Adaptive {
+	a := &Adaptive{Opt: synth.DefaultOptions(), Lib: NewLibrary(), Pool: synth.NewPool(workers)}
+	if cacheSize != 0 {
+		a.Cache = NewCache(cacheSize)
+	}
+	return a
 }
 
 // Name implements Router.
@@ -146,15 +222,33 @@ func (a *Adaptive) Name() string { return "adaptive" }
 // HealthAware implements Router.
 func (a *Adaptive) HealthAware() bool { return true }
 
+// pendingFor returns the completion signal of an in-flight prefetch for
+// key, or nil when none is running.
+func (a *Adaptive) pendingFor(key CacheKey) chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pending[key]
+}
+
 // Route implements Router: library fast path on fully healthy, unobstructed
-// regions, online synthesis against the observed force field otherwise.
+// regions, cached or online synthesis against the observed force field
+// otherwise. Obstructed jobs always synthesize fresh — obstacle sets are
+// transient droplet positions and not worth keying a cache on.
 func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synth.Policy, float64, error) {
 	rj = synth.NormalizeDispense(rj, c.W(), c.H())
 	top := 1<<uint(c.HealthBits()) - 1
-	if a.Lib != nil && len(obstacles) == 0 && c.MinHealth(rj.Hazard) == top {
+	healthy := len(obstacles) == 0 && c.MinHealth(rj.Hazard) == top
+	if a.Lib != nil && healthy {
 		if p, v, ok := a.Lib.Lookup(rj); ok {
 			a.LibraryUses++
 			return p, v, nil
+		}
+		if done := a.pendingFor(NewCacheKey(rj, a.Opt, c.HealthHash(rj.Hazard))); done != nil {
+			<-done
+			if p, v, ok := a.Lib.Lookup(rj); ok {
+				a.LibraryUses++
+				return p, v, nil
+			}
 		}
 		res, err := synth.Synthesize(rj, func(x, y int) float64 { return 1 }, a.Opt)
 		if err != nil {
@@ -166,6 +260,29 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 		}
 		return res.Policy, res.Value, nil
 	}
+	if a.Cache != nil && len(obstacles) == 0 {
+		key := NewCacheKey(rj, a.Opt, c.HealthHash(rj.Hazard))
+		if p, v, ok := a.Cache.Lookup(key); ok {
+			a.CacheHits++
+			return p, v, nil
+		}
+		if done := a.pendingFor(key); done != nil {
+			<-done
+			if p, v, ok := a.Cache.Lookup(key); ok {
+				a.CacheHits++
+				return p, v, nil
+			}
+		}
+		res, err := synth.Synthesize(rj, c.ObservedForceField(), a.Opt)
+		if err != nil {
+			return nil, 0, err
+		}
+		a.Syntheses++
+		if res.Exists() {
+			a.Cache.Store(key, res.Policy, res.Value)
+		}
+		return res.Policy, res.Value, nil
+	}
 	opt := a.Opt
 	opt.Model.Blocked = obstacles
 	res, err := synth.Synthesize(rj, c.ObservedForceField(), opt)
@@ -174,4 +291,90 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 	}
 	a.Syntheses++
 	return res.Policy, res.Value, nil
+}
+
+// Prefetch implements Prefetcher: it snapshots the job's health region and,
+// if an idle pool worker is available, synthesizes the strategy in the
+// background. Healthy regions warm the library; degraded regions warm the
+// cache under the snapshot's health key. Returns false (without spawning
+// anything) when the strategy is already available, an identical prefetch
+// is in flight, or the pool is saturated.
+func (a *Adaptive) Prefetch(rj route.RJ, c *chip.Chip) bool {
+	if a.Pool == nil {
+		return false
+	}
+	rj = synth.NormalizeDispense(rj, c.W(), c.H())
+	top := 1<<uint(c.HealthBits()) - 1
+	healthy := c.MinHealth(rj.Hazard) == top
+	if healthy && (a.Lib == nil || a.Lib.Contains(rj)) {
+		return false
+	}
+	if !healthy && a.Cache == nil {
+		return false
+	}
+	key := NewCacheKey(rj, a.Opt, c.HealthHash(rj.Hazard))
+	if !healthy && a.Cache.Contains(key) {
+		return false
+	}
+	// The snapshot is taken on the caller's goroutine: workers must never
+	// read live chip state.
+	field := func(x, y int) float64 { return 1 }
+	if !healthy {
+		field = c.SnapshotForceField(rj.Hazard)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pending[key] != nil {
+		return false
+	}
+	done := make(chan struct{})
+	started := a.Pool.TryGo(func() {
+		res, err := synth.Synthesize(rj, field, a.Opt)
+		if err == nil && res.Exists() {
+			if healthy {
+				a.Lib.Store(rj, res.Policy, res.Value)
+			} else {
+				a.Cache.Store(key, res.Policy, res.Value)
+			}
+		}
+		a.mu.Lock()
+		a.prefetchSyntheses++
+		delete(a.pending, key)
+		a.mu.Unlock()
+		close(done)
+	})
+	if !started {
+		return false
+	}
+	if a.pending == nil {
+		a.pending = make(map[CacheKey]chan struct{})
+	}
+	a.pending[key] = done
+	return true
+}
+
+// Drain implements Prefetcher: it blocks until every background synthesis
+// accepted so far has completed.
+func (a *Adaptive) Drain() {
+	if a.Pool != nil {
+		a.Pool.Wait()
+	}
+}
+
+// PrefetchSyntheses returns how many background syntheses have completed.
+func (a *Adaptive) PrefetchSyntheses() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.prefetchSyntheses
+}
+
+// InvalidateRegion eagerly drops cached strategies whose hazard bounds
+// intersect the degraded region (stale entries could never be served anyway
+// — keys embed the region health hash — but dropping them frees cache slots
+// for live strategies).
+func (a *Adaptive) InvalidateRegion(region geom.Rect) int {
+	if a.Cache == nil {
+		return 0
+	}
+	return a.Cache.Invalidate(region)
 }

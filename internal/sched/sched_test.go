@@ -111,12 +111,25 @@ func TestAdaptiveRouteDegradedSynthesizesOnline(t *testing.T) {
 	if a.Syntheses != 1 {
 		t.Errorf("syntheses = %d, want 1", a.Syntheses)
 	}
-	// Degraded routes are not cached: routing again synthesizes again.
+	// Degraded routes are memoized: routing again under unchanged health
+	// hits the strategy cache instead of re-synthesizing.
+	if _, _, err := a.Route(job(), c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Syntheses != 1 || a.CacheHits != 1 {
+		t.Errorf("syntheses = %d cacheHits = %d, want 1/1", a.Syntheses, a.CacheHits)
+	}
+	// Degradation of a previously pristine corner of the region changes
+	// the health key: the next route must synthesize against the new
+	// health matrix.
+	for i := 0; i < 60; i++ {
+		c.Actuate(rect(8, 8, 10, 10))
+	}
 	if _, _, err := a.Route(job(), c, nil); err != nil {
 		t.Fatal(err)
 	}
 	if a.Syntheses != 2 {
-		t.Errorf("syntheses = %d, want 2", a.Syntheses)
+		t.Errorf("after degradation: syntheses = %d, want 2", a.Syntheses)
 	}
 }
 

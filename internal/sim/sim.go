@@ -186,12 +186,15 @@ func (d *dropletRT) quasiStatic() bool {
 
 // moRT is the runtime state of one operation.
 type moRT struct {
-	cm       *route.CompiledMO
-	state    moState
-	phase    int
-	jobs     []*jobRT
-	holdLeft int  // mag hold countdown (runs once the droplet arrives)
-	holding  bool // mag droplet has arrived and is being detained
+	cm    *route.CompiledMO
+	state moState
+	phase int
+	jobs  []*jobRT
+	// prefetched marks that the operation's strategies were handed to a
+	// background prefetcher while it waited for its hazard zones.
+	prefetched bool
+	holdLeft   int  // mag hold countdown (runs once the droplet arrives)
+	holding    bool // mag droplet has arrived and is being detained
 	// pendingSplit is the droplet awaiting a split (a spt parent or a
 	// dilution's merged droplet); the split is deferred until the half
 	// positions are clear of foreign droplets. splitWait counts deferred
@@ -209,6 +212,12 @@ func (r *Runner) Execute(plan *route.Plan) (Execution, error) {
 	if plan.W != r.Chip.W() || plan.H != r.Chip.H() {
 		return Execution{}, fmt.Errorf("sim: plan compiled for %d×%d but chip is %d×%d",
 			plan.W, plan.H, r.Chip.W(), r.Chip.H())
+	}
+	prefetcher, _ := r.Router.(sched.Prefetcher)
+	if prefetcher != nil {
+		// No background synthesis may outlive the execution: workers hold
+		// health snapshots, and the next execution wears the chip further.
+		defer prefetcher.Drain()
 	}
 	mos := make([]*moRT, len(plan.MOs))
 	for i := range plan.MOs {
@@ -357,7 +366,24 @@ func (r *Runner) Execute(plan *route.Plan) (Execution, error) {
 			lastProgress = k
 		}
 
-		// 1b. Pending dispenses: spawn when the entry area clears.
+		// 1b. Pre-synthesize strategies for ready operations still waiting
+		// on their hazard zones: by the time they activate, the router
+		// finds their strategies warm (Alg. 3's synthesis step moved off
+		// the critical path while the current operations execute).
+		if prefetcher != nil {
+			for _, id := range readyIDs {
+				m := mos[id]
+				if m.state != moInit || m.prefetched {
+					continue
+				}
+				m.prefetched = true
+				for _, j := range m.jobs {
+					prefetcher.Prefetch(j.rj, r.Chip)
+				}
+			}
+		}
+
+		// 1c. Pending dispenses: spawn when the entry area clears.
 		for id, m := range mos {
 			if m.state == moActive && m.cm.MO.Type == assay.Dis && m.jobs[0].droplet == nil {
 				r.trySpawn(m, id, k, &droplets)
@@ -375,10 +401,20 @@ func (r *Runner) Execute(plan *route.Plan) (Execution, error) {
 					continue
 				}
 				dirty := j.obstacleDirty
+				healthDirty := false
 				if r.Router.HealthAware() && j.routable && !dirty {
-					dirty = r.Chip.HealthHash(j.rj.Hazard) != j.hash
+					healthDirty = r.Chip.HealthHash(j.rj.Hazard) != j.hash
+					dirty = healthDirty
 				}
 				if dirty && !j.pending {
+					if healthDirty {
+						if inv, ok := r.Router.(sched.RegionInvalidator); ok {
+							// The job's region covers the degraded cells
+							// that triggered the refresh: evict overlapping
+							// strategies eagerly.
+							inv.InvalidateRegion(j.rj.Hazard)
+						}
+					}
 					j.pending = true
 					if k+r.Cfg.ResynthDelay > j.nextTry {
 						j.nextTry = k + r.Cfg.ResynthDelay

@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"runtime"
+	"sync"
+
+	"meda/internal/action"
+	"meda/internal/route"
+)
+
+// Pool bounds the number of concurrently running synthesis jobs. The hybrid
+// scheduler uses it to pre-synthesize the strategies for the next
+// microfluidic operation's routing jobs while the current one executes
+// (Alg. 3's synthesis step moved off the critical path).
+//
+// The pool is a counting semaphore rather than a set of resident worker
+// goroutines: an idle pool holds no goroutines and needs no Close. All
+// methods are safe for concurrent use.
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewPool returns a pool running at most workers syntheses at once;
+// workers <= 0 means GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Go runs fn on the pool, blocking the spawned goroutine (not the caller)
+// until a worker slot is free.
+func (p *Pool) Go(fn func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		fn()
+	}()
+}
+
+// TryGo runs fn on the pool only if a worker slot is immediately free,
+// reporting whether it was started. Prefetch uses this: speculative work is
+// only worth doing on otherwise-idle workers.
+func (p *Pool) TryGo(fn func()) bool {
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		return false
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer func() { <-p.sem }()
+		fn()
+	}()
+	return true
+}
+
+// Wait blocks until every job accepted so far has finished.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Future is the pending result of a submitted synthesis.
+type Future struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// Wait blocks until the synthesis finishes and returns its result.
+func (f *Future) Wait() (Result, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// Ready reports whether the result is available without blocking.
+func (f *Future) Ready() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Submit schedules Synthesize(rj, field, opt) on the pool. The field must be
+// safe to read from another goroutine — pass a snapshot (for example
+// chip.SnapshotForceField), not a live chip accessor.
+func (p *Pool) Submit(rj route.RJ, field action.ForceField, opt Options) *Future {
+	f := &Future{done: make(chan struct{})}
+	p.Go(func() {
+		defer close(f.done)
+		f.res, f.err = Synthesize(rj, field, opt)
+	})
+	return f
+}

@@ -1,0 +1,107 @@
+package synth
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"meda/internal/geom"
+	"meda/internal/route"
+)
+
+func poolJob() route.RJ {
+	return route.RJ{
+		Start:  geom.Rect{XA: 1, YA: 1, XB: 3, YB: 3},
+		Goal:   geom.Rect{XA: 10, YA: 10, XB: 12, YB: 12},
+		Hazard: geom.Rect{XA: 1, YA: 1, XB: 14, YB: 14},
+	}
+}
+
+func TestPoolSubmitMatchesDirectSynthesis(t *testing.T) {
+	field := func(x, y int) float64 { return 0.81 }
+	rj := poolJob()
+	want, err := Synthesize(rj, field, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(2)
+	var futs []*Future
+	for i := 0; i < 6; i++ {
+		futs = append(futs, p.Submit(rj, field, DefaultOptions()))
+	}
+	for i, f := range futs {
+		got, err := f.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if !got.Exists() || got.Value != want.Value {
+			t.Fatalf("job %d: value %v, want %v", i, got.Value, want.Value)
+		}
+		if len(got.Policy) != len(want.Policy) {
+			t.Fatalf("job %d: policy size %d, want %d", i, len(got.Policy), len(want.Policy))
+		}
+	}
+	p.Wait()
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	if p.Workers() != workers {
+		t.Fatalf("Workers() = %d, want %d", p.Workers(), workers)
+	}
+	var running, peak int32
+	var mu sync.Mutex
+	for i := 0; i < 20; i++ {
+		p.Go(func() {
+			n := atomic.AddInt32(&running, 1)
+			mu.Lock()
+			if n > peak {
+				peak = n
+			}
+			mu.Unlock()
+			atomic.AddInt32(&running, -1)
+		})
+	}
+	p.Wait()
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds bound %d", peak, workers)
+	}
+}
+
+func TestPoolTryGoRefusesWhenSaturated(t *testing.T) {
+	p := NewPool(1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.Go(func() {
+		close(started)
+		<-block
+	})
+	<-started
+	if p.TryGo(func() {}) {
+		t.Error("TryGo succeeded on a saturated pool")
+	}
+	close(block)
+	p.Wait()
+	if !p.TryGo(func() {}) {
+		t.Error("TryGo failed on an idle pool")
+	}
+	p.Wait()
+}
+
+func TestNewPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+}
+
+func TestFutureReady(t *testing.T) {
+	p := NewPool(1)
+	f := p.Submit(poolJob(), func(x, y int) float64 { return 1 }, DefaultOptions())
+	if _, err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Ready() {
+		t.Error("Ready() false after Wait returned")
+	}
+}
