@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet fmtcheck lint models assert verify bench
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,29 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Tier-1 verification plus the race detector over the full tree.
-verify: build vet test race
+# Fail if any file needs reformatting (gofmt prints the offenders).
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Domain-specific static analysis: the medalint suite (floatcmp, chipaccess,
+# ctxcancel, probliteral, lockorder) over the whole tree.
+lint:
+	$(GO) run ./cmd/medalint ./...
+
+# Static model-invariant verification over the six benchmark assays:
+# row-stochasticity, dangling targets, reverse-index consistency, strategy
+# totality, hazard closure (internal/modelcheck).
+models:
+	$(GO) run ./cmd/medalint -models
+
+# Run the solver/synthesis tests with the medacheck build tag, which turns
+# on model validation at every solver entry and full reduced-model
+# verification after every synthesis.
+assert:
+	$(GO) test -tags medacheck ./internal/mdp/ ./internal/smg/ ./internal/synth/ ./internal/modelcheck/ ./internal/sched/
+
+# Tier-1 verification plus the race detector and the static checkers.
+verify: build vet fmtcheck test race lint models assert
 
 # Synthesis-engine benchmarks with allocation stats; results are recorded in
 # BENCH_synthesis.json so the performance trajectory is tracked across PRs.

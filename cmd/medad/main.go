@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -66,36 +67,45 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *state != "" {
-		// Persist the chip's wear on interrupt, like powering down real
-		// hardware.
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		go func() {
-			<-sig
-			f, err := os.Create(*state)
-			if err == nil {
-				err = c.SaveState(f)
-				f.Close()
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "medad: saving state: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("medad: chip state saved to %s\n", *state)
-			os.Exit(0)
-		}()
-	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "medad: %v\n", err)
 		os.Exit(1)
 	}
+	if *state != "" {
+		// Persist the chip's wear on interrupt, like powering down real
+		// hardware. The handler only closes the listener; the save itself
+		// happens below, after Serve returns, through the device lock —
+		// never on a goroutine racing the connection handlers (see the
+		// medalint chipaccess analyzer).
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		go func() {
+			<-sig
+			ln.Close()
+		}()
+	}
 	fmt.Printf("medad: %d×%d biochip (seed %d, faults %s) listening on %s\n",
 		cfg.W, cfg.H, *seed, *faults, ln.Addr())
 	srv := device.NewServer(c, src.Split("nature"))
-	if err := srv.Serve(ln); err != nil {
-		fmt.Fprintf(os.Stderr, "medad: %v\n", err)
+	serveErr := srv.Serve(ln)
+	if *state != "" && errors.Is(serveErr, net.ErrClosed) {
+		f, err := os.Create(*state)
+		if err == nil {
+			err = srv.SaveState(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "medad: saving state: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("medad: chip state saved to %s\n", *state)
+		return
+	}
+	if serveErr != nil {
+		fmt.Fprintf(os.Stderr, "medad: %v\n", serveErr)
 		os.Exit(1)
 	}
 }

@@ -21,7 +21,7 @@ import (
 // number of cycles of the shortest route. Dispense jobs must be normalized
 // first (synth.NormalizeDispense).
 func ShortestPath(rj route.RJ, opt smg.ModelOptions) (synth.Policy, int, error) {
-	if opt.MaxAspect == 0 {
+	if opt.MaxAspect <= 0 {
 		opt = smg.DefaultModelOptions()
 	}
 	if rj.Start.IsZero() {

@@ -110,7 +110,7 @@ func (p Params) ActuationsToDegradation(d float64) float64 {
 	if d >= 1 {
 		return 0
 	}
-	if d <= 0 || p.Tau == 1 {
+	if d <= 0 || isOne(p.Tau) {
 		return math.Inf(1)
 	}
 	return p.C * math.Log(d) / math.Log(p.Tau)
@@ -234,7 +234,7 @@ func (p FaultPlan) Validate() error {
 // faulty on a w×h array under the plan, using src for all randomness. The
 // clustered mode rounds the count down to whole 2×2 clusters.
 func (p FaultPlan) PlaceFaults(w, h int, src *randx.Source) []int {
-	if p.Mode == FaultNone || p.Fraction == 0 {
+	if p.Mode == FaultNone || isZero(p.Fraction) {
 		return nil
 	}
 	total := w * h
@@ -274,3 +274,11 @@ func (p FaultPlan) PlaceFaults(w, h int, src *randx.Source) []int {
 	sort.Ints(out)
 	return out
 }
+
+// isZero and isOne are exact sentinel comparisons (medalint floatcmp):
+// Tau and Fraction are configuration constants compared against their
+// documented sentinel values, not accumulated quantities.
+func isZero(x float64) bool { return x == 0 }
+
+// isOne is the τ = 1 "never degrades" sentinel.
+func isOne(x float64) bool { return x == 1 }

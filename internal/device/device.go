@@ -76,6 +76,14 @@ func NewServer(c *chip.Chip, src *randx.Source) *Server {
 	return &Server{chip: c, src: src, nextID: 1, droplets: map[int]geom.Rect{}}
 }
 
+// SaveState persists the chip's wear under the device lock, so a snapshot
+// requested while controllers are connected cannot race their actuations.
+func (s *Server) SaveState(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chip.SaveState(w)
+}
+
 // Serve accepts controller connections until the listener closes.
 func (s *Server) Serve(ln net.Listener) error {
 	for {

@@ -1,0 +1,53 @@
+// Package analysis is an offline stand-in for the golang.org/x/tools
+// go/analysis framework: it defines the same Analyzer / Pass / Diagnostic
+// contract (pinned to the v0.24.0 API shape) on top of the standard
+// library's go/ast and go/types only, so the medalint suite builds
+// hermetically without network access to the x/tools module. Analyzers
+// written against this package port to the upstream framework by swapping
+// the import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run inspects a single type-checked
+// package through its Pass and reports findings via Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters. It
+	// must be a valid identifier.
+	Name string
+	// Doc is the one-line description shown by medalint -list.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name; filled in by the driver
+	Message  string
+}
+
+// Pass carries one type-checked package through an analyzer run. The same
+// fields exist on the upstream go/analysis Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records a diagnostic; the driver fills in Category.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

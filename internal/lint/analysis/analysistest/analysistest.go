@@ -1,0 +1,123 @@
+// Package analysistest runs an analyzer over a golden testdata package and
+// checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest convention: a comment
+//
+//	x := a == b // want `float equality`
+//
+// expects exactly one diagnostic on that line whose message matches the
+// (Go-quoted or backquoted) regular expression; several expectations may be
+// listed on one line. Diagnostics without a matching want, and wants
+// without a matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"meda/internal/lint/analysis"
+)
+
+var wantRE = regexp.MustCompile("^//\\s*want\\s+(.*)$")
+var argRE = regexp.MustCompile("^\\s*(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package in dir, applies the analyzer, and reports any
+// mismatch between its diagnostics and the package's // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect expectations, keyed by file:line.
+	wants := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				rest := m[1]
+				for {
+					am := argRE.FindStringSubmatch(rest)
+					if am == nil {
+						break
+					}
+					rest = rest[len(am[0]):]
+					lit := am[1]
+					var pat string
+					if lit[0] == '`' {
+						pat = lit[1 : len(lit)-1]
+					} else if pat, err = strconv.Unquote(lit); err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	diags := Diagnostics(t, pkg, a)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		ok := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+// Diagnostics applies the analyzer to a loaded package and returns its
+// findings with Category filled in.
+func Diagnostics(t *testing.T, pkg *analysis.Package, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			d.Category = a.Name
+			diags = append(diags, d)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	return diags
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"meda/internal/lint/analysis"
+)
+
+// ChipAccess flags uses of chip.Chip from code that runs on another
+// goroutine: function literals launched with a go statement or handed to
+// synth.Pool (Go, TryGo). chip.Chip is deliberately unsynchronized — the
+// simulator owns it — so background synthesis must work from an immutable
+// snapshot taken on the submitting goroutine (chip.SnapshotForceField),
+// never from the live chip. This is the static counterpart of the -race
+// runs in make verify: it catches the pattern even on paths no test
+// happens to race.
+var ChipAccess = &analysis.Analyzer{
+	Name: "chipaccess",
+	Doc:  "flags reads of live chip.Chip state from background goroutines",
+	Run:  runChipAccess,
+}
+
+const chipPkgPath = "meda/internal/chip"
+const synthPkgPath = "meda/internal/synth"
+
+func runChipAccess(pass *analysis.Pass) error {
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, name string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos,
+			"chip.Chip.%s accessed from a background goroutine; take a SnapshotForceField on the submitting goroutine and capture the snapshot instead",
+			name)
+	}
+	scanAsync := func(body ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if isChipType(pass.TypesInfo.Types[sel.X].Type) {
+				report(sel.Sel.Pos(), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// go c.Method(...) runs Method itself asynchronously;
+				// go func(){...}(...) runs the literal's body.
+				if sel, ok := n.Call.Fun.(*ast.SelectorExpr); ok {
+					if isChipType(pass.TypesInfo.Types[sel.X].Type) {
+						report(sel.Sel.Pos(), sel.Sel.Name)
+					}
+				}
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					scanAsync(lit.Body)
+				}
+			case *ast.CallExpr:
+				if !isPoolSubmission(pass.TypesInfo, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						scanAsync(lit.Body)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isChipType reports whether t is chip.Chip or *chip.Chip.
+func isChipType(t types.Type) bool {
+	return isNamed(t, chipPkgPath, "Chip")
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isPoolSubmission reports whether call invokes a job-accepting method of
+// synth.Pool (Go or TryGo).
+func isPoolSubmission(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := info.Selections[sel]
+	if s == nil {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || (fn.Name() != "Go" && fn.Name() != "TryGo") {
+		return false
+	}
+	return isNamed(s.Recv(), synthPkgPath, "Pool")
+}

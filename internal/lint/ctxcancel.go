@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"meda/internal/lint/analysis"
+)
+
+// CtxCancel flags synthesis-pool submissions whose handle or outcome is
+// dropped. A discarded *synth.Future means nobody will ever observe the
+// synthesis result or its error; a discarded TryGo flag means the caller
+// cannot tell a declined speculative job from an accepted one (the sched
+// prefetch bookkeeping depends on that flag); and ignoring the error half
+// of Future.Wait silently routes a droplet on a zero-value policy. Each is
+// a cancellation/err-propagation hole on the concurrent synthesis path.
+var CtxCancel = &analysis.Analyzer{
+	Name: "ctxcancel",
+	Doc:  "flags synth.Pool submissions and Future waits that drop the handle or error",
+	Run:  runCtxCancel,
+}
+
+func runCtxCancel(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case isMethodCall(info, call, synthPkgPath, "Pool", "Submit"):
+					pass.Reportf(call.Pos(), "result of synth.Pool.Submit dropped; keep the *Future (or use Go) so the synthesis outcome is observable")
+				case isMethodCall(info, call, synthPkgPath, "Pool", "TryGo"):
+					pass.Reportf(call.Pos(), "started flag of synth.Pool.TryGo dropped; a declined speculative job would go unnoticed")
+				case isMethodCall(info, call, synthPkgPath, "Future", "Wait"):
+					pass.Reportf(call.Pos(), "result and error of synth.Future.Wait dropped")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					switch {
+					case isMethodCall(info, call, synthPkgPath, "Pool", "Submit"),
+						isMethodCall(info, call, synthPkgPath, "Pool", "TryGo"):
+						// Single-result call: with one RHS call per LHS slot
+						// (or a 1:1 assign), the matching LHS must be
+						// non-blank.
+						if lhs := matchingLHS(n, i); lhs != nil && isBlank(lhs) {
+							pass.Reportf(call.Pos(), "synth.Pool submission result assigned to _; keep the handle")
+						}
+					case isMethodCall(info, call, synthPkgPath, "Future", "Wait"):
+						// Two-result call: the error is the last LHS.
+						if len(n.Rhs) == 1 && len(n.Lhs) == 2 && isBlank(n.Lhs[1]) {
+							pass.Reportf(call.Pos(), "error of synth.Future.Wait assigned to _; a failed synthesis would be routed on a zero policy")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// matchingLHS returns the LHS expression receiving the i-th RHS of a 1:1
+// assignment, or nil when the shapes don't line up.
+func matchingLHS(a *ast.AssignStmt, i int) ast.Expr {
+	if len(a.Lhs) == len(a.Rhs) && i < len(a.Lhs) {
+		return a.Lhs[i]
+	}
+	return nil
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isMethodCall reports whether call invokes pkgPath.recvName.method.
+func isMethodCall(info *types.Info, call *ast.CallExpr, pkgPath, recvName, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := info.Selections[sel]
+	if s == nil {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Name() != method {
+		return false
+	}
+	return isNamed(s.Recv(), pkgPath, recvName)
+}

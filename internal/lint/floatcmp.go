@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"meda/internal/lint/analysis"
+)
+
+// FloatCmp flags == and != between floating-point operands. Probabilities,
+// force values and value-iteration results are float64 throughout the
+// engine, and raw equality on them is almost always a latent bug (two
+// mathematically equal quantities computed along different paths rarely
+// compare equal in binary64). Comparisons belong in the shared epsilon
+// helpers of internal/mdp (ApproxEqual, IsZeroProb, IsOneProb); the bodies
+// of such helpers — any function whose name marks it as an epsilon
+// primitive — are exempt, as are comparisons where both operands are
+// compile-time constants.
+var FloatCmp = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= on floating-point values outside approved epsilon helpers",
+	Run:  runFloatCmp,
+}
+
+// approvedFloatCmpFunc matches the names of functions allowed to compare
+// floats exactly: the epsilon helpers themselves.
+var approvedFloatCmpFunc = regexp.MustCompile(`(?i)(approx|epsilon|iszero|isone|exacteq)`)
+
+func runFloatCmp(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if approvedFloatCmpFunc.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt := pass.TypesInfo.Types[be.X]
+				yt := pass.TypesInfo.Types[be.Y]
+				if !isFloat(xt.Type) && !isFloat(yt.Type) {
+					return true
+				}
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant-folded; no runtime comparison
+				}
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison; use an epsilon helper (mdp.ApproxEqual, mdp.IsZeroProb, mdp.IsOneProb)",
+					be.Op)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isFloat reports whether t is (or is based on) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,96 @@
+// Package lint is the medalint analyzer suite: domain-specific static
+// checks that guard the invariants the synthesis engine's correctness
+// argument rests on (Sec. VI-C's SMG→MDP reduction and the concurrent
+// synthesis path of Alg. 3). The five analyzers are
+//
+//	floatcmp    — no raw ==/!= on floating-point probabilities, forces or
+//	              values outside approved epsilon helpers
+//	chipaccess  — background goroutines must not read live chip.Chip
+//	              state; they get snapshots (chip.SnapshotForceField)
+//	ctxcancel   — synth.Pool submissions must keep the returned
+//	              handle/started flag, and Future errors must be checked
+//	probliteral — literal probabilities stay within [0, 1]
+//	lockorder   — mutexes in sched/synth are acquired in one global order
+//
+// Each analyzer follows the go/analysis contract of internal/lint/analysis
+// and is exercised by an analysistest golden package under testdata/.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"meda/internal/lint/analysis"
+)
+
+// Analyzers returns the full medalint suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{FloatCmp, ChipAccess, CtxCancel, ProbLiteral, LockOrder}
+}
+
+// Finding is one diagnostic resolved to a file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the finding the way compilers do, so editors can jump to
+// it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run loads every package matched by the patterns (relative to a directory
+// inside the module) and applies the analyzers, returning all findings
+// sorted by position. Packages that fail to load abort the run: the suite
+// lints only code that compiles.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.Dirs(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, d := range dirs {
+		pkg, err := loader.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range analyzers {
+			a := a
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(diag analysis.Diagnostic) {
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Pos:      pkg.Fset.Position(diag.Pos),
+						Message:  diag.Message,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"meda/internal/lint"
+	"meda/internal/lint/analysis/analysistest"
+)
+
+func testdata(name string) string { return filepath.Join("testdata", name) }
+
+func TestFloatCmp(t *testing.T)    { analysistest.Run(t, testdata("floatcmp"), lint.FloatCmp) }
+func TestChipAccess(t *testing.T)  { analysistest.Run(t, testdata("chipaccess"), lint.ChipAccess) }
+func TestCtxCancel(t *testing.T)   { analysistest.Run(t, testdata("ctxcancel"), lint.CtxCancel) }
+func TestProbLiteral(t *testing.T) { analysistest.Run(t, testdata("probliteral"), lint.ProbLiteral) }
+func TestLockOrder(t *testing.T)   { analysistest.Run(t, testdata("lockorder"), lint.LockOrder) }
+
+// TestSuiteRegistry: the multichecker exposes exactly the five analyzers,
+// each named and documented.
+func TestSuiteRegistry(t *testing.T) {
+	as := lint.Analyzers()
+	if len(as) != 5 {
+		t.Fatalf("Analyzers() returned %d analyzers, want 5", len(as))
+	}
+	want := map[string]bool{
+		"floatcmp": true, "chipaccess": true, "ctxcancel": true,
+		"probliteral": true, "lockorder": true,
+	}
+	for _, a := range as {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+		delete(want, a.Name)
+	}
+	for name := range want {
+		t.Errorf("missing analyzer %q", name)
+	}
+}
+
+// TestRunOnCleanTree: the full suite over the real module must be clean —
+// this is the make lint gate in test form.
+func TestRunOnCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-tree lint in -short mode")
+	}
+	findings, err := lint.Run(".", []string{"./..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

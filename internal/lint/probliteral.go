@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"meda/internal/lint/analysis"
+)
+
+// ProbLiteral flags constant probabilities outside [0, 1]: literals written
+// into probability-named struct fields (P, Prob, Probability), assigned to
+// such fields, or passed for probability-named parameters. mdp.Validate
+// catches bad distributions at model-build time, but only on the states a
+// run happens to construct; this analyzer rejects the literal at compile
+// time, wherever it appears.
+var ProbLiteral = &analysis.Analyzer{
+	Name: "probliteral",
+	Doc:  "flags probability literals outside [0,1]",
+	Run:  runProbLiteral,
+}
+
+var probFieldRE = regexp.MustCompile(`^(P|Prob|Probability)$`)
+var probParamRE = regexp.MustCompile(`(?i)^(p|prob|probability)$`)
+
+func runProbLiteral(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	check := func(expr ast.Expr, what string) {
+		tv := info.Types[expr]
+		if tv.Value == nil {
+			return
+		}
+		if k := tv.Value.Kind(); k != constant.Int && k != constant.Float {
+			return
+		}
+		if constant.Sign(tv.Value) >= 0 && !exceedsOne(tv.Value) {
+			return
+		}
+		pass.Reportf(expr.Pos(), "probability literal %s for %s is outside [0,1]", tv.Value.String(), what)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				st, ok := structOf(info.Types[n].Type)
+				if !ok {
+					return true
+				}
+				for i, elt := range n.Elts {
+					name, value := "", ast.Expr(nil)
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							name, value = id.Name, kv.Value
+						}
+					} else if i < st.NumFields() {
+						name, value = st.Field(i).Name(), elt
+					}
+					if value != nil && probFieldRE.MatchString(name) && isFloat(info.Types[value].Type) {
+						check(value, "field "+name)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || i >= len(n.Rhs) || len(n.Lhs) != len(n.Rhs) {
+						continue
+					}
+					if probFieldRE.MatchString(sel.Sel.Name) && isFloat(info.Types[lhs].Type) {
+						check(n.Rhs[i], "field "+sel.Sel.Name)
+					}
+				}
+			case *ast.CallExpr:
+				sig, ok := signatureOf(info, n.Fun)
+				if !ok {
+					return true
+				}
+				for i, arg := range n.Args {
+					pi := i
+					if sig.Variadic() && pi >= sig.Params().Len() {
+						pi = sig.Params().Len() - 1
+					}
+					if pi < 0 || pi >= sig.Params().Len() {
+						continue
+					}
+					param := sig.Params().At(pi)
+					if probParamRE.MatchString(param.Name()) && isFloat(param.Type()) {
+						check(arg, "parameter "+param.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exceedsOne reports v > 1 for a numeric constant.
+func exceedsOne(v constant.Value) bool {
+	if v.Kind() != constant.Int && v.Kind() != constant.Float {
+		return false
+	}
+	return constant.Compare(v, token.GTR, constant.MakeInt64(1))
+}
+
+// structOf unwraps t (possibly behind a pointer or a named type) to a
+// struct.
+func structOf(t types.Type) (*types.Struct, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// signatureOf resolves the signature of a call target, rejecting
+// conversions and builtins.
+func signatureOf(info *types.Info, fun ast.Expr) (*types.Signature, bool) {
+	tv := info.Types[fun]
+	if tv.Type == nil || tv.IsType() {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}

@@ -1,0 +1,52 @@
+// Package chipaccess is the golden input for the chipaccess analyzer.
+package chipaccess
+
+import (
+	"meda/internal/chip"
+	"meda/internal/geom"
+	"meda/internal/synth"
+)
+
+func region() geom.Rect { return geom.Rect{XA: 1, YA: 1, XB: 8, YB: 8} }
+
+func goStatementReads(c *chip.Chip) {
+	go func() {
+		_ = c.Health(1, 1) // want `chip\.Chip\.Health accessed from a background goroutine`
+	}()
+	go func() {
+		f := c.ObservedForceField() // want `chip\.Chip\.ObservedForceField accessed from a background goroutine`
+		_ = f
+	}()
+	go c.Actuate(region()) // want `chip\.Chip\.Actuate accessed from a background goroutine`
+}
+
+func snapshotInGoroutineStillFlagged(c *chip.Chip) {
+	// Even the snapshot method races when called off the owning goroutine;
+	// the snapshot must be taken by the submitter.
+	go func() {
+		_ = c.SnapshotForceField(region()) // want `chip\.Chip\.SnapshotForceField accessed from a background goroutine`
+	}()
+}
+
+func poolReads(p *synth.Pool, c *chip.Chip) {
+	p.Go(func() {
+		_ = c.MinHealth(region()) // want `chip\.Chip\.MinHealth accessed from a background goroutine`
+	})
+	started := p.TryGo(func() {
+		_ = c.W() // want `chip\.Chip\.W accessed from a background goroutine`
+	})
+	_ = started
+}
+
+func snapshotOnSubmitter(p *synth.Pool, c *chip.Chip) {
+	// The sanctioned pattern: snapshot on the submitting goroutine, hand
+	// the immutable snapshot to the worker.
+	field := c.SnapshotForceField(region())
+	p.Go(func() {
+		_ = field(2, 2)
+	})
+}
+
+func synchronousUseIsFine(c *chip.Chip) int {
+	return c.Health(2, 2)
+}

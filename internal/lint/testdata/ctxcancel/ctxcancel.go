@@ -1,0 +1,40 @@
+// Package ctxcancel is the golden input for the ctxcancel analyzer.
+package ctxcancel
+
+import (
+	"meda/internal/action"
+	"meda/internal/route"
+	"meda/internal/synth"
+)
+
+func flat(x, y int) float64 { return 1 }
+
+func droppedHandle(p *synth.Pool, rj route.RJ) {
+	p.Submit(rj, action.ForceField(flat), synth.DefaultOptions()) // want `result of synth\.Pool\.Submit dropped`
+}
+
+func blankHandle(p *synth.Pool, rj route.RJ) {
+	_ = p.Submit(rj, action.ForceField(flat), synth.DefaultOptions()) // want `synth\.Pool submission result assigned to _`
+}
+
+func droppedTryGo(p *synth.Pool) {
+	p.TryGo(func() {})     // want `started flag of synth\.Pool\.TryGo dropped`
+	_ = p.TryGo(func() {}) // want `synth\.Pool submission result assigned to _`
+}
+
+func droppedWait(f *synth.Future) {
+	f.Wait() // want `result and error of synth\.Future\.Wait dropped`
+}
+
+func blankWaitErr(f *synth.Future) synth.Result {
+	res, _ := f.Wait() // want `error of synth\.Future\.Wait assigned to _`
+	return res
+}
+
+func keptEverything(p *synth.Pool, rj route.RJ) (synth.Result, error) {
+	fut := p.Submit(rj, action.ForceField(flat), synth.DefaultOptions())
+	if started := p.TryGo(func() {}); !started {
+		_ = started
+	}
+	return fut.Wait()
+}

@@ -1,0 +1,45 @@
+// Package floatcmp is the golden input for the floatcmp analyzer.
+package floatcmp
+
+const eps = 1e-9
+
+// ApproxEqual is an approved epsilon helper: exact comparisons inside it
+// are the implementation of the tolerance itself.
+func ApproxEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps || a == b
+}
+
+// IsZeroProb is likewise approved.
+func IsZeroProb(p float64) bool { return p == 0 }
+
+type result struct {
+	value float64
+	iters int
+}
+
+func converged(prev, next float64) bool {
+	return prev == next // want `floating-point == comparison`
+}
+
+func residual(r result, v float64) bool {
+	if r.value != v { // want `floating-point != comparison`
+		return false
+	}
+	return r.iters == 0 // ints compare fine
+}
+
+func mixed(p float32, n int) bool {
+	if float64(n) == 3.5 { // want `floating-point == comparison`
+		return true
+	}
+	return p != 0.25 // want `floating-point != comparison`
+}
+
+func constantFold() bool {
+	const a, b = 0.1, 0.2
+	return a+b == 0.3 // constant-folded: no runtime comparison, not flagged
+}

@@ -1,0 +1,55 @@
+// Package lockorder is the golden input for the lockorder analyzer.
+package lockorder
+
+import "sync"
+
+type registry struct {
+	mu      sync.Mutex
+	entries map[string]int
+}
+
+type scheduler struct {
+	mu   sync.Mutex
+	reg  *registry
+	busy bool
+}
+
+// lockAB acquires scheduler.mu then registry.mu.
+func (s *scheduler) lockAB() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.mu.Lock() // want `lockorder\.registry\.mu is locked while holding lockorder\.scheduler\.mu`
+	s.reg.entries["x"]++
+	s.reg.mu.Unlock()
+}
+
+// lockBA acquires them in the opposite order: a latent deadlock with lockAB.
+func (s *scheduler) lockBA() {
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	s.mu.Lock() // want `lockorder\.scheduler\.mu is locked while holding lockorder\.registry\.mu`
+	s.busy = true
+	s.mu.Unlock()
+}
+
+// sequential acquisition (release before the next Lock) imposes no order.
+func (s *scheduler) sequential() {
+	s.mu.Lock()
+	s.busy = false
+	s.mu.Unlock()
+	s.reg.mu.Lock()
+	s.reg.entries["y"]++
+	s.reg.mu.Unlock()
+}
+
+// A goroutine body is its own scope: the submitter's held set does not
+// leak into it, so this is not an ordering edge.
+func (s *scheduler) asyncScope() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.reg.mu.Lock()
+		s.reg.entries["z"]++
+		s.reg.mu.Unlock()
+	}()
+}

@@ -1,0 +1,39 @@
+// Package probliteral is the golden input for the probliteral analyzer.
+package probliteral
+
+import "meda/internal/mdp"
+
+type edge struct {
+	To   int
+	P    float64
+	Prob float64
+}
+
+func literals() []edge {
+	return []edge{
+		{To: 1, P: 0.5},
+		{To: 2, P: 1.5},  // want `probability literal 1\.5 for field P is outside \[0,1\]`
+		{To: 3, P: -0.1}, // want `probability literal -0\.1 for field P is outside \[0,1\]`
+		{4, 1.0, 2.0},    // want `probability literal 2 for field Prob is outside \[0,1\]`
+	}
+}
+
+func assigned(e *edge) {
+	e.P = 1
+	e.P = 1.01 // want `probability literal 1\.01 for field P is outside \[0,1\]`
+}
+
+func addTransition(to int, p float64) edge { return edge{To: to, P: p} }
+
+func calls() {
+	_ = addTransition(1, 0.25)
+	_ = addTransition(1, 7)           // want `probability literal 7 for parameter p is outside \[0,1\]`
+	_ = mdp.Transition{To: 0, P: 3.5} // want `probability literal 3\.5 for field P is outside \[0,1\]`
+}
+
+func notProbabilities(x float64, n int) {
+	// Fields and parameters without probability names are not constrained.
+	type point struct{ X, Y float64 }
+	_ = point{X: 4.5, Y: -2}
+	_ = n
+}

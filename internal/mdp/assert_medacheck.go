@@ -1,0 +1,12 @@
+//go:build medacheck
+
+package mdp
+
+// assertValid runs full model validation at every solver entry point when
+// built with the medacheck tag (see internal/modelcheck): a malformed model
+// panics immediately instead of converging to a plausible wrong value.
+func assertValid(m *MDP) {
+	if err := m.Validate(); err != nil {
+		panic("mdp: medacheck: " + err.Error())
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !medacheck
+
+package mdp
+
+// assertValid is a no-op in regular builds; the medacheck build tag swaps in
+// full model validation at every solver entry point (assert_medacheck.go).
+func assertValid(*MDP) {}

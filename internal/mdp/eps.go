@@ -1,0 +1,40 @@
+package mdp
+
+import "math"
+
+// Floating-point comparison helpers shared across the synthesis stack.
+// Probabilities, force values and value-iteration results are float64
+// everywhere, and the medalint floatcmp analyzer rejects raw ==/!= on them:
+// two mathematically equal quantities computed along different paths rarely
+// compare equal in binary64. All tolerance and sentinel comparisons go
+// through the helpers below, so the tolerances are named, auditable, and in
+// one place.
+
+// Eps is the default convergence tolerance of the value-iteration solvers
+// and the stochasticity tolerance of model validation.
+const Eps = 1e-9
+
+// ApproxEqual reports |a−b| ≤ eps, treating equal infinities as equal
+// (value vectors legitimately carry +Inf for unreachable states).
+func ApproxEqual(a, b, eps float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// IsZero reports x == 0 exactly. It exists for sentinel checks — values
+// that are zero by construction (never actuated, pinned by the solver, a
+// degenerate variance) rather than zero by accumulation — and signals that
+// the exactness is intentional.
+func IsZero(x float64) bool { return x == 0 }
+
+// IsZeroProb reports whether a probability is exactly 0. Transition
+// probabilities are 0 only by construction (an outcome the force model
+// rules out, a solver-pinned losing state), so the exact test is correct
+// where an accumulated value would need ApproxEqual.
+func IsZeroProb(p float64) bool { return p == 0 }
+
+// IsOneProb reports whether a probability is exactly 1, the
+// by-construction counterpart of IsZeroProb.
+func IsOneProb(p float64) bool { return p == 1 }

@@ -216,6 +216,7 @@ func (e *ConvergenceError) Unwrap() error { return ErrNoConvergence }
 // which encodes Pmax=?[□¬avoid ∧ ◇target] for label-closed avoid sets. The
 // returned strategy maximizes the probability.
 func (m *MDP) MaxReachProb(target, avoid []bool, opt SolveOptions) (Result, error) {
+	assertValid(m)
 	opt = opt.withDefaults()
 	n := m.NumStates()
 	if len(target) != n || (avoid != nil && len(avoid) != n) {
@@ -280,7 +281,7 @@ func (m *MDP) MaxReachProb(target, avoid []bool, opt SolveOptions) (Result, erro
 		queue = queue[:len(queue)-1]
 		for ri := g.revOff[t]; ri < g.revOff[t+1]; ri++ {
 			s := int(g.choiceState[g.revChoice[ri]])
-			if done[s] || frozen[s] || vals[s] == 0 {
+			if done[s] || frozen[s] || IsZero(vals[s]) {
 				continue
 			}
 			if resolve(s) {
@@ -313,6 +314,7 @@ func (m *MDP) Prob1E(target, avoid []bool) []bool {
 // forbidden. States from which no strategy reaches the target almost surely
 // (while avoiding) get +Inf. The returned strategy attains the minimum.
 func (m *MDP) MinExpectedReward(target, avoid []bool, opt SolveOptions) (Result, error) {
+	assertValid(m)
 	opt = opt.withDefaults()
 	n := m.NumStates()
 	if len(target) != n || (avoid != nil && len(avoid) != n) {

@@ -41,7 +41,7 @@ func (m *MDP) EvaluatePolicyReward(st Strategy, target []bool, opt SolveOptions)
 				c := m.choices[s][st[s]]
 				stays, hits := true, false
 				for _, tr := range c.Transitions {
-					if tr.P == 0 {
+					if IsZeroProb(tr.P) {
 						continue
 					}
 					if !as[tr.To] {
@@ -85,7 +85,7 @@ func (m *MDP) EvaluatePolicyReward(st Strategy, target []bool, opt SolveOptions)
 			c := m.choices[s][st[s]]
 			v := c.Reward
 			for _, tr := range c.Transitions {
-				if tr.P == 0 {
+				if IsZeroProb(tr.P) {
 					continue
 				}
 				v += tr.P * vals[tr.To]

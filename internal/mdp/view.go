@@ -1,0 +1,48 @@
+package mdp
+
+// CSRView is a read-only window onto the flattened (CSR) form of the model,
+// including the lazily built reverse-edge index, for external invariant
+// checking (internal/modelcheck). The slices are freshly flattened on each
+// call and safe to inspect, but mutating them has no effect on the MDP.
+type CSRView struct {
+	// NumStates is |S|; offsets below are as documented on the internal
+	// csr type: choices of state s are [StateOff[s], StateOff[s+1]),
+	// transitions of choice c are [ChoiceOff[c], ChoiceOff[c+1]).
+	NumStates int
+	StateOff  []int32
+	ChoiceOff []int32
+	Actions   []int32   // per choice: caller-supplied action id
+	Rewards   []float64 // per choice
+	Tos       []int32   // per transition: successor state
+	Probs     []float64 // per transition
+
+	// Reverse-edge index over positive-probability transitions: the global
+	// choice ids with an edge into state t are RevChoice[RevOff[t]:
+	// RevOff[t+1]], and ChoiceState maps a global choice id to its owning
+	// state. This is the exact index Prob1E and strategy extraction walk,
+	// so checking it validates the solver's substrate, not a re-derivation.
+	RevOff      []int32
+	RevChoice   []int32
+	ChoiceState []int32
+}
+
+// CSR flattens the model and builds the reverse-edge index, exactly as the
+// solvers do, and exposes the result. Transition targets must be in range
+// (Validate), or the reverse-index construction will panic; callers
+// checking untrusted models should run Validate first.
+func (m *MDP) CSR() CSRView {
+	g := m.flatten()
+	g.reverseIndex()
+	return CSRView{
+		NumStates:   g.n,
+		StateOff:    g.stateOff,
+		ChoiceOff:   g.choiceOff,
+		Actions:     g.actions,
+		Rewards:     g.rewards,
+		Tos:         g.tos,
+		Probs:       g.probs,
+		RevOff:      g.revOff,
+		RevChoice:   g.revChoice,
+		ChoiceState: g.choiceState,
+	}
+}

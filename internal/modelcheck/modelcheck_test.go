@@ -1,0 +1,277 @@
+package modelcheck_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"meda/internal/geom"
+	"meda/internal/mdp"
+	"meda/internal/modelcheck"
+	"meda/internal/route"
+	"meda/internal/smg"
+	"meda/internal/spec"
+	"meda/internal/synth"
+)
+
+// chain builds the well-formed 3-state model used as the baseline: s0 has a
+// coin-flip choice (action 7) into s1/s2 plus a self-loop (action 3), and
+// s1, s2 absorb.
+func chain() *mdp.MDP {
+	m := mdp.New()
+	s0, s1, s2 := m.AddState(), m.AddState(), m.AddState()
+	m.AddChoice(s0, 7, 1, []mdp.Transition{{To: s1, P: 0.5}, {To: s2, P: 0.5}})
+	m.AddChoice(s0, 3, 1, []mdp.Transition{{To: s0, P: 1}})
+	m.AddChoice(s1, -1, 0, []mdp.Transition{{To: s1, P: 1}})
+	m.AddChoice(s2, -1, 0, []mdp.Transition{{To: s2, P: 1}})
+	return m
+}
+
+func countCheck(vs []modelcheck.Violation, check string) int {
+	n := 0
+	for _, v := range vs {
+		if v.Check == check {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCheckMDPClean(t *testing.T) {
+	if vs := modelcheck.CheckMDP(chain()); len(vs) != 0 {
+		t.Fatalf("clean model reported %d violations: %v", len(vs), vs)
+	}
+}
+
+func TestCheckMDPNonStochasticRow(t *testing.T) {
+	m := mdp.New()
+	s0, s1 := m.AddState(), m.AddState()
+	m.AddChoice(s0, 5, 1, []mdp.Transition{{To: s1, P: 0.5}, {To: s0, P: 0.4}}) // sums to 0.9
+	m.AddChoice(s1, -1, 0, []mdp.Transition{{To: s1, P: 1}})
+	vs := modelcheck.CheckMDP(m)
+	if len(vs) != 1 || vs[0].Check != "row-stochastic" {
+		t.Fatalf("want one row-stochastic violation, got %v", vs)
+	}
+	// The violation must carry the state and action detail (satellite
+	// requirement: diagnostics locate the offending choice).
+	if vs[0].State != s0 || vs[0].Choice != 0 || vs[0].Action != 5 {
+		t.Fatalf("violation lost its location: %+v", vs[0])
+	}
+	if !strings.Contains(vs[0].String(), "state 0 choice 0 (action 5)") {
+		t.Fatalf("String() lacks location: %q", vs[0].String())
+	}
+	if !strings.Contains(vs[0].Detail, "0.9") {
+		t.Fatalf("detail should report the defective sum: %q", vs[0].Detail)
+	}
+}
+
+func TestCheckMDPNegativeAndExcessProbability(t *testing.T) {
+	m := mdp.New()
+	s0 := m.AddState()
+	m.AddChoice(s0, 2, 1, []mdp.Transition{{To: s0, P: 1.25}, {To: s0, P: -0.25}})
+	vs := modelcheck.CheckMDP(m)
+	// Two out-of-range probabilities; the sum itself is exactly 1.
+	if got := countCheck(vs, "row-stochastic"); got != 2 {
+		t.Fatalf("want 2 row-stochastic violations, got %v", vs)
+	}
+}
+
+func TestCheckMDPEmptyChoiceAndNegativeReward(t *testing.T) {
+	m := mdp.New()
+	s0 := m.AddState()
+	m.AddChoice(s0, 1, -2, []mdp.Transition{{To: s0, P: 1}})
+	m.AddChoice(s0, 2, 0, nil)
+	vs := modelcheck.CheckMDP(m)
+	if got := countCheck(vs, "row-stochastic"); got != 2 {
+		t.Fatalf("want negative-reward and empty-choice violations, got %v", vs)
+	}
+}
+
+func TestCheckMDPDanglingTarget(t *testing.T) {
+	m := mdp.New()
+	s0 := m.AddState()
+	m.AddChoice(s0, 9, 1, []mdp.Transition{{To: 17, P: 1}}) // state 17 does not exist
+	vs := modelcheck.CheckMDP(m)
+	if got := countCheck(vs, "dangling-target"); got != 1 {
+		t.Fatalf("want one dangling-target violation, got %v", vs)
+	}
+	for _, v := range vs {
+		if v.Check == "dangling-target" {
+			if v.State != s0 || v.Action != 9 || !strings.Contains(v.Detail, "17") {
+				t.Fatalf("dangling-target violation lost its location: %+v", v)
+			}
+		}
+	}
+}
+
+func TestCheckCSRConsistent(t *testing.T) {
+	if vs := modelcheck.CheckCSR(chain()); len(vs) != 0 {
+		t.Fatalf("CSR of clean model reported violations: %v", vs)
+	}
+}
+
+func TestCheckCSRReverseIndexDedup(t *testing.T) {
+	// A choice with two positive edges into the same target must appear
+	// once (deduplicated) in the reverse index; zero-probability edges must
+	// not appear at all. CheckCSR verifies both directions of the index.
+	m := mdp.New()
+	s0, s1 := m.AddState(), m.AddState()
+	m.AddChoice(s0, 4, 1, []mdp.Transition{{To: s1, P: 0.5}, {To: s1, P: 0.5}})
+	m.AddChoice(s1, 5, 1, []mdp.Transition{{To: s0, P: 0}, {To: s1, P: 1}})
+	if vs := modelcheck.CheckCSR(m); len(vs) != 0 {
+		t.Fatalf("dedup/zero-edge reverse index reported violations: %v", vs)
+	}
+	g := m.CSR()
+	if got := g.RevOff[int(s1)+1] - g.RevOff[s1]; got != 2 {
+		t.Fatalf("want 2 deduped reverse edges into s1, got %d", got)
+	}
+	if got := g.RevOff[int(s0)+1] - g.RevOff[s0]; got != 0 {
+		t.Fatalf("zero-probability edge leaked into the reverse index: %d edges into s0", got)
+	}
+}
+
+func TestCheckStrategyTotal(t *testing.T) {
+	m := chain()
+	target := []bool{false, true, false}
+	st := mdp.Strategy{0, -1, -1} // flip at s0; s1 is the target, s2 unreachable? no: flip reaches s2
+	// s2 is reachable, absorbing and not a target: its only choice must be
+	// selected for the walk to be well-defined.
+	vs := modelcheck.CheckStrategy(m, st, 0, target, nil)
+	if got := countCheck(vs, "strategy-totality"); got != 1 {
+		t.Fatalf("want one strategy-totality violation at s2, got %v", vs)
+	}
+	if vs[0].State != 2 {
+		t.Fatalf("violation at wrong state: %+v", vs[0])
+	}
+	// Selecting s2's choice repairs it.
+	st[2] = 0
+	if vs := modelcheck.CheckStrategy(m, st, 0, target, nil); len(vs) != 0 {
+		t.Fatalf("total strategy reported violations: %v", vs)
+	}
+}
+
+func TestCheckStrategyPartialOnReachable(t *testing.T) {
+	m := chain()
+	target := []bool{false, true, false}
+	avoid := []bool{false, false, true}
+	// s2 is avoided, so no selection is required there; s0 itself has no
+	// selection — a reachable hole.
+	vs := modelcheck.CheckStrategy(m, mdp.Strategy{-1, -1, -1}, 0, target, avoid)
+	if len(vs) != 1 || vs[0].State != 0 {
+		t.Fatalf("want one violation at the initial state, got %v", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "no selected choice") {
+		t.Fatalf("detail should explain the hole: %q", vs[0].Detail)
+	}
+}
+
+func TestCheckStrategyUnreachableHoleOK(t *testing.T) {
+	m := chain()
+	target := []bool{false, true, true}
+	// Self-loop at s0 never reaches s1/s2; holes there are fine, but the
+	// strategy must still be sized to the model.
+	if vs := modelcheck.CheckStrategy(m, mdp.Strategy{1, -1, -1}, 0, target, nil); len(vs) != 0 {
+		t.Fatalf("unreachable holes should be tolerated, got %v", vs)
+	}
+	if vs := modelcheck.CheckStrategy(m, mdp.Strategy{1}, 0, target, nil); len(vs) != 1 {
+		t.Fatalf("mis-sized strategy must be reported, got %v", vs)
+	}
+}
+
+func TestCheckHazardClosure(t *testing.T) {
+	m := chain()
+	goal := []bool{false, true, false}
+	hazard := []bool{true, false, false} // s0 can flip into non-hazard s1, s2 — leaks
+	vs := modelcheck.CheckHazardClosure(m, goal, hazard)
+	if got := countCheck(vs, "hazard-closure"); got != 2 {
+		t.Fatalf("want 2 hazard-closure leaks (s1 and s2 via the flip), got %v", vs)
+	}
+	for _, v := range vs {
+		if v.State != 0 || v.Action != 7 {
+			t.Fatalf("leak violation lost its location: %+v", v)
+		}
+	}
+	// Absorbing hazard set is clean.
+	hazard = []bool{false, false, true}
+	if vs := modelcheck.CheckHazardClosure(m, goal, hazard); len(vs) != 0 {
+		t.Fatalf("absorbing hazard set reported violations: %v", vs)
+	}
+	// Overlapping labels are contradictory.
+	vs = modelcheck.CheckHazardClosure(m, goal, []bool{false, true, false})
+	if len(vs) != 1 || !strings.Contains(vs[0].Detail, "both goal and hazard") {
+		t.Fatalf("want one overlap violation, got %v", vs)
+	}
+}
+
+// healthyField is a pristine chip: full relative force everywhere.
+func healthyField(x, y int) float64 { return 1 }
+
+func TestCheckReducedOnInducedModel(t *testing.T) {
+	bounds := geom.Rect{XA: 1, YA: 1, XB: 12, YB: 8}
+	start := geom.Rect{XA: 1, YA: 1, XB: 4, YB: 4}
+	goal := geom.Rect{XA: 8, YA: 4, XB: 12, YB: 8}
+	model, err := smg.Induce(bounds, start, goal, healthyField, smg.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.M.MinExpectedReward(model.Goal, model.Hazard, mdp.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := modelcheck.CheckReduced(model, res.Strategy, bounds); len(vs) != 0 {
+		t.Fatalf("induced model failed verification: %v", vs)
+	}
+	if vs := modelcheck.CheckValues(res.Values, false); len(vs) != 0 {
+		t.Fatalf("reward values failed verification: %v", vs)
+	}
+}
+
+func TestCheckReducedThroughSynthesize(t *testing.T) {
+	// The full Alg. 2 path, Pmax flavor, over a worn field and a dispense
+	// job entering from the chip edge.
+	worn := func(x, y int) float64 { return 0.81 }
+	job := route.RJ{
+		MO: 1, Index: 0,
+		Goal:     geom.Rect{XA: 10, YA: 6, XB: 13, YB: 9},
+		Hazard:   geom.Rect{XA: 1, YA: 1, XB: 20, YB: 14},
+		Dispense: true,
+	}
+	rj := synth.NormalizeDispense(job, 60, 30)
+	opt := synth.DefaultOptions()
+	opt.Query = spec.RoutingQuery(spec.PMax)
+	res, err := synth.Synthesize(rj, worn, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := modelcheck.CheckReduced(res.Model, nil, rj.Hazard); len(vs) != 0 {
+		t.Fatalf("synthesized model failed verification: %v", vs)
+	}
+}
+
+func TestCheckReducedCatchesHazardMislabel(t *testing.T) {
+	bounds := geom.Rect{XA: 1, YA: 1, XB: 9, YB: 6}
+	start := geom.Rect{XA: 1, YA: 1, XB: 3, YB: 3}
+	goal := geom.Rect{XA: 6, YA: 3, XB: 9, YB: 6}
+	model, err := smg.Induce(bounds, start, goal, healthyField, smg.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the labels the way a buggy reduction would: drop the hazard
+	// mark from the sink.
+	model.Hazard[model.HazardSink] = false
+	vs := modelcheck.CheckReduced(model, nil, bounds)
+	if got := countCheck(vs, "hazard-closure"); got == 0 {
+		t.Fatalf("mislabeled hazard sink not caught: %v", vs)
+	}
+}
+
+func TestCheckValues(t *testing.T) {
+	vs := modelcheck.CheckValues([]float64{0, 0.5, 1.2, math.NaN()}, true)
+	if len(vs) != 2 {
+		t.Fatalf("want violations for 1.2 and NaN, got %v", vs)
+	}
+	// Reward semantics: only NaN is illegal.
+	if vs := modelcheck.CheckValues([]float64{0, 17, 1.2}, false); len(vs) != 0 {
+		t.Fatalf("finite rewards should pass, got %v", vs)
+	}
+}

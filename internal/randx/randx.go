@@ -101,7 +101,7 @@ func (s *Source) Choose(weights []float64) int {
 		}
 		total += w
 	}
-	if total == 0 {
+	if isZero(total) {
 		return s.IntN(len(weights))
 	}
 	u := s.Float64() * total
@@ -117,3 +117,7 @@ func (s *Source) Choose(weights []float64) int {
 
 // Shuffle shuffles the first n elements using the provided swap function.
 func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// isZero is an exact sentinel comparison (medalint floatcmp): an all-zero
+// weight vector is degenerate by construction, not by rounding.
+func isZero(x float64) bool { return x == 0 }

@@ -237,7 +237,7 @@ func shapes(w, h int, opt ModelOptions) [][2]int {
 // EWOD force per microelectrode — the observed field for synthesis, or the
 // true field for oracle experiments.
 func Induce(bounds, start, goal geom.Rect, field action.ForceField, opt ModelOptions) (*Model, error) {
-	if opt.MaxAspect == 0 { // zero value → defaults
+	if opt.MaxAspect <= 0 { // zero value → defaults
 		opt = DefaultModelOptions()
 	}
 	if !start.Valid() || !goal.Valid() || !bounds.Valid() {
@@ -327,7 +327,7 @@ func Induce(bounds, start, goal geom.Rect, field action.ForceField, opt ModelOpt
 			outs := action.Outcomes(d, a, field)
 			trs := make([]mdp.Transition, 0, len(outs))
 			for _, o := range outs {
-				if o.P == 0 {
+				if mdp.IsZeroProb(o.P) {
 					continue
 				}
 				trs = append(trs, mdp.Transition{To: resolve(o.Droplet), P: o.P})

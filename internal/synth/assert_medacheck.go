@@ -1,0 +1,26 @@
+//go:build medacheck
+
+package synth
+
+import (
+	"fmt"
+
+	"meda/internal/geom"
+	"meda/internal/mdp"
+	"meda/internal/modelcheck"
+	"meda/internal/smg"
+)
+
+// assertReduced verifies every model-level invariant over the reduced
+// per-job MDP (and, when non-nil, the extracted strategy) when built with
+// the medacheck tag. Violations are bugs in the reduction or the solver,
+// not user errors, so they panic.
+func assertReduced(model *smg.Model, st mdp.Strategy, bounds geom.Rect) {
+	if vs := modelcheck.CheckReduced(model, st, bounds); len(vs) > 0 {
+		msg := fmt.Sprintf("synth: medacheck: reduced model failed verification (%d violations):", len(vs))
+		for _, v := range vs {
+			msg += "\n  " + v.String()
+		}
+		panic(msg)
+	}
+}

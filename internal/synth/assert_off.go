@@ -1,0 +1,14 @@
+//go:build !medacheck
+
+package synth
+
+import (
+	"meda/internal/geom"
+	"meda/internal/mdp"
+	"meda/internal/smg"
+)
+
+// assertReduced is a no-op in regular builds; the medacheck build tag swaps
+// in full invariant verification of every reduced model and synthesized
+// strategy (assert_medacheck.go).
+func assertReduced(*smg.Model, mdp.Strategy, geom.Rect) {}

@@ -129,12 +129,15 @@ func Synthesize(rj route.RJ, field action.ForceField, opt Options) (Result, erro
 
 	// PRISMG returns (∅, ∞) when no strategy exists (Alg. 2); mirror that.
 	if opt.Query.Kind == spec.RMin && math.IsInf(res.Value, 1) {
+		assertReduced(model, nil, rj.Hazard)
 		return res, nil
 	}
-	if opt.Query.Kind == spec.PMax && res.Value == 0 {
+	if opt.Query.Kind == spec.PMax && mdp.IsZeroProb(res.Value) {
+		assertReduced(model, nil, rj.Hazard)
 		return res, nil
 	}
 	res.Policy = Policy(model.Policy(solved.Strategy))
+	assertReduced(model, solved.Strategy, rj.Hazard)
 	return res, nil
 }
 
