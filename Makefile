@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmtcheck lint models assert verify bench
+.PHONY: build test race vet fmtcheck lint models assert cover fuzz verify bench
 
 build:
 	$(GO) build ./...
@@ -35,8 +35,34 @@ models:
 assert:
 	$(GO) test -tags medacheck ./internal/mdp/ ./internal/smg/ ./internal/synth/ ./internal/modelcheck/ ./internal/sched/
 
+# Coverage floors for the packages this repo leans on hardest. Floors sit
+# well below current coverage (≈98/92/94% as of the telemetry PR) so they
+# trip on real regressions, not on noise.
+cover:
+	@set -e; \
+	check() { \
+	  pct="$$($(GO) test -cover $$1 | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"; \
+	  if [ -z "$$pct" ]; then echo "$$1: no coverage output"; exit 1; fi; \
+	  ok="$$(awk -v p="$$pct" -v f="$$2" 'BEGIN { print (p >= f) ? 1 : 0 }')"; \
+	  if [ "$$ok" != 1 ]; then echo "$$1: coverage $$pct% below floor $$2%"; exit 1; fi; \
+	  echo "$$1: coverage $$pct% (floor $$2%)"; \
+	}; \
+	check ./internal/telemetry/ 90; \
+	check ./internal/sched/ 80; \
+	check ./internal/synth/ 80
+
+# Short fuzz bursts over every fuzz target (parser robustness + print/parse
+# round trips). Each target needs its own invocation: -fuzz accepts exactly
+# one matching target per package.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/spec/ -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/spec/ -run '^$$' -fuzz '^FuzzQueryString$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dsl/ -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dsl/ -run '^$$' -fuzz '^FuzzParseStability$$' -fuzztime $(FUZZTIME)
+
 # Tier-1 verification plus the race detector and the static checkers.
-verify: build vet fmtcheck test race lint models assert
+verify: build vet fmtcheck test race lint models assert cover
 
 # Synthesis-engine benchmarks with allocation stats; results are recorded in
 # BENCH_synthesis.json so the performance trajectory is tracked across PRs.

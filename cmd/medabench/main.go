@@ -26,6 +26,7 @@ import (
 	"meda/internal/sched"
 	"meda/internal/smg"
 	"meda/internal/synth"
+	"meda/internal/telemetry"
 )
 
 type result struct {
@@ -42,6 +43,12 @@ type report struct {
 	NumCPU     int                `json:"num_cpu"`
 	Benchmarks []result           `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived"`
+	// Telemetry is the process-wide counter snapshot after all benchmark
+	// runs — VI sweep totals, cache hits/misses, pool activity — so the
+	// recorded timings can be cross-checked against how much work actually
+	// happened (e.g. a "speedup" from accidentally cached solves shows up
+	// as a hit/solve ratio shift).
+	Telemetry telemetry.Snapshot `json:"telemetry"`
 }
 
 func record(rep *report, name string, f func(b *testing.B)) result {
@@ -176,6 +183,7 @@ func main() {
 	})
 	rep.Derived["warm_cache_speedup"] = cold.NsPerOp / warm.NsPerOp
 
+	rep.Telemetry = telemetry.Default().Snapshot()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {

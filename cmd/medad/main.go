@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 
@@ -25,6 +27,7 @@ import (
 	"meda/internal/chip"
 	"meda/internal/device"
 	"meda/internal/randx"
+	"meda/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +36,7 @@ func main() {
 	faults := flag.String("faults", "none", "fault injection: none, uniform, clustered")
 	fraction := flag.Float64("fraction", 0.12, "fraction of faulty microelectrodes")
 	state := flag.String("state", "", "chip state file: loaded at start if present, saved on interrupt (wear persists)")
+	httpAddr := flag.String("http", "127.0.0.1:7071", "debug HTTP address serving /metrics and /debug/pprof/ (empty disables)")
 	flag.Parse()
 
 	cfg := meda.DefaultChipConfig()
@@ -84,6 +88,32 @@ func main() {
 			<-sig
 			ln.Close()
 		}()
+	}
+	if *httpAddr != "" {
+		// Observability sidecar: expvar-style metrics plus the stdlib
+		// profiler, on a dedicated mux so the device protocol port stays
+		// JSON-only. Registered by hand rather than via the pprof package's
+		// DefaultServeMux side effects.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		hln, herr := net.Listen("tcp", *httpAddr)
+		if herr != nil {
+			fmt.Fprintf(os.Stderr, "medad: debug http: %v\n", herr)
+			os.Exit(1)
+		}
+		fmt.Printf("medad: metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n",
+			hln.Addr(), hln.Addr())
+		go func() {
+			if err := http.Serve(hln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "medad: debug http: %v\n", err)
+			}
+		}()
+		defer hln.Close()
 	}
 	fmt.Printf("medad: %d×%d biochip (seed %d, faults %s) listening on %s\n",
 		cfg.W, cfg.H, *seed, *faults, ln.Addr())

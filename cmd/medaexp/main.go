@@ -14,6 +14,7 @@ import (
 
 	"meda/internal/assay"
 	"meda/internal/exp"
+	"meda/internal/telemetry"
 )
 
 func main() {
@@ -21,12 +22,29 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink trial counts for a fast run")
 	workers := flag.Int("workers", -1, "background synthesis workers for adaptive routers (0 = GOMAXPROCS, negative = synchronous routing)")
 	cacheSize := flag.Int("cache", -1, "strategy-cache bound for adaptive routers (0 disables, negative = default)")
+	traceFile := flag.String("trace", "", "write telemetry spans as JSONL to this file")
 	flag.Parse()
 	exp.SetRouterConfig(*workers, *cacheSize)
 	targets := flag.Args()
 	if len(targets) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: medaexp [-seed N] [-quick] fig2|fig3|fig5|fig6|fig7|fig15|fig16|tab4|tab5|recovery|bits|alphabet|ttr|all")
 		os.Exit(2)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "medaexp: %v\n", err)
+			os.Exit(1)
+		}
+		tr := telemetry.NewTracer(f)
+		telemetry.SetTracer(tr)
+		defer func() {
+			telemetry.SetTracer(nil)
+			if err := tr.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "medaexp: trace: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 	for _, t := range targets {
 		if err := run(t, *seed, *quick); err != nil {

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"meda"
+	"meda/internal/telemetry"
 )
 
 var benchmarks = map[string]meda.Benchmark{
@@ -40,7 +41,25 @@ func main() {
 	file := flag.String("file", "", "run a custom assay from a .assay description file instead of a named benchmark")
 	workers := flag.Int("workers", 0, "background synthesis workers for the adaptive router (0 = GOMAXPROCS, negative = synchronous routing)")
 	cacheSize := flag.Int("cache", -1, "strategy-cache bound for the adaptive router (0 disables, negative = default)")
+	traceFile := flag.String("trace", "", "write telemetry spans as JSONL to this file")
 	flag.Parse()
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "medasim: %v\n", err)
+			os.Exit(1)
+		}
+		tr := telemetry.NewTracer(f)
+		telemetry.SetTracer(tr)
+		defer func() {
+			telemetry.SetTracer(nil)
+			if err := tr.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "medasim: trace: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	var bench meda.Benchmark
 	if *file == "" {

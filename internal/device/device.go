@@ -29,6 +29,17 @@ import (
 	"meda/internal/chip"
 	"meda/internal/geom"
 	"meda/internal/randx"
+	"meda/internal/telemetry"
+)
+
+// Device telemetry (internal/telemetry default registry). Request counts
+// are additionally broken out per protocol op under device.req.<op>.
+var (
+	telConns      = telemetry.C("device.connections")
+	telRequests   = telemetry.C("device.requests")
+	telReqErrors  = telemetry.C("device.request_errors")
+	telDevCycles  = telemetry.C("device.cycles")
+	telBadRequest = telemetry.C("device.bad_requests")
 )
 
 // Request is one protocol message from controller to chip.
@@ -97,6 +108,7 @@ func (s *Server) Serve(ln net.Listener) error {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	telConns.Inc()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	enc := json.NewEncoder(conn)
@@ -104,6 +116,7 @@ func (s *Server) handle(conn net.Conn) {
 		var req Request
 		var resp Response
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			telBadRequest.Inc()
 			resp = Response{Error: fmt.Sprintf("bad request: %v", err)}
 		} else {
 			resp = s.apply(req)
@@ -115,7 +128,16 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // apply executes one request under the device lock.
-func (s *Server) apply(req Request) Response {
+func (s *Server) apply(req Request) (resp Response) {
+	sp := telemetry.StartSpan("device." + req.Op)
+	defer sp.End()
+	telRequests.Inc()
+	telemetry.C("device.req." + req.Op).Inc()
+	defer func() {
+		if resp.Error != "" {
+			telReqErrors.Inc()
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch req.Op {
@@ -212,6 +234,7 @@ func (s *Server) runCycle(intents map[int]geom.Rect) {
 	}
 	s.chip.Actuate(patterns...)
 	s.cycle++
+	telDevCycles.Inc()
 }
 
 func actionByName(name string) (action.Action, error) {

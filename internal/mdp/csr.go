@@ -19,6 +19,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // csr is the flattened model. Offsets are int32: routing models have well
@@ -254,9 +255,22 @@ func (g *csr) jacobiSweep(frozen []bool, src, dst []float64, workers int,
 // residual drops below eps, with Gauss-Seidel updating vals in place and
 // Jacobi ping-ponging two buffers across the parallel sweep. On success the
 // converged values are in vals and the iteration count is returned; on
-// exhaustion it returns a *ConvergenceError naming the worst state.
+// exhaustion it returns a *ConvergenceError naming the worst state. Sweep
+// counts and the final residual feed the solver telemetry.
 func (g *csr) iterate(vals []float64, frozen []bool, opt SolveOptions,
 	bellman func(s int, src []float64) float64) (int, error) {
+	iters, delta, err := g.iterateRaw(vals, frozen, opt, bellman)
+	telSolves.Inc()
+	telSweeps.Add(int64(iters))
+	telSweepsPerSolve.Observe(float64(iters))
+	telResidual.Set(delta)
+	return iters, err
+}
+
+// iterateRaw is iterate without telemetry, additionally reporting the final
+// max-norm residual.
+func (g *csr) iterateRaw(vals []float64, frozen []bool, opt SolveOptions,
+	bellman func(s int, src []float64) float64) (int, float64, error) {
 	if opt.Method == Jacobi {
 		workers := sweepWorkers(opt, g.n)
 		src := vals
@@ -268,16 +282,16 @@ func (g *csr) iterate(vals []float64, frozen []bool, opt SolveOptions,
 				if &src[0] != &vals[0] {
 					copy(vals, src)
 				}
-				return iters + 1, nil
+				return iters + 1, delta, nil
 			}
 			if iters == opt.MaxIter-1 {
 				if &src[0] != &vals[0] {
 					copy(vals, src)
 				}
-				return iters + 1, g.convergenceError(worst, delta, opt.MaxIter)
+				return iters + 1, delta, g.convergenceError(worst, delta, opt.MaxIter)
 			}
 		}
-		return 0, g.convergenceError(-1, math.Inf(1), opt.MaxIter)
+		return 0, math.Inf(1), g.convergenceError(-1, math.Inf(1), opt.MaxIter)
 	}
 	// Gauss-Seidel: sequential in-place sweeps.
 	for iters := 0; iters < opt.MaxIter; iters++ {
@@ -295,13 +309,13 @@ func (g *csr) iterate(vals []float64, frozen []bool, opt SolveOptions,
 			vals[s] = v
 		}
 		if delta < opt.Eps {
-			return iters + 1, nil
+			return iters + 1, delta, nil
 		}
 		if iters == opt.MaxIter-1 {
-			return iters + 1, g.convergenceError(worst, delta, opt.MaxIter)
+			return iters + 1, delta, g.convergenceError(worst, delta, opt.MaxIter)
 		}
 	}
-	return 0, g.convergenceError(-1, math.Inf(1), opt.MaxIter)
+	return 0, math.Inf(1), g.convergenceError(-1, math.Inf(1), opt.MaxIter)
 }
 
 // convergenceError labels an exhausted iteration with the state that was
@@ -323,6 +337,11 @@ func (g *csr) convergenceError(worst int, delta float64, iters int) error {
 // work proportional to the edges actually propagated, instead of repeated
 // full forward sweeps.
 func (g *csr) prob1E(target, avoid []bool) []bool {
+	t0 := time.Now()
+	defer func() {
+		telProb1ECalls.Inc()
+		telProb1ENs.Add(time.Since(t0).Nanoseconds())
+	}()
 	g.reverseIndex()
 	nc := len(g.actions)
 	inU := make([]bool, g.n)

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"meda/internal/telemetry"
 )
 
 // StateID indexes a state of the MDP.
@@ -216,6 +218,8 @@ func (e *ConvergenceError) Unwrap() error { return ErrNoConvergence }
 // which encodes Pmax=?[□¬avoid ∧ ◇target] for label-closed avoid sets. The
 // returned strategy maximizes the probability.
 func (m *MDP) MaxReachProb(target, avoid []bool, opt SolveOptions) (Result, error) {
+	sp := telemetry.StartSpan("mdp.max_reach_prob")
+	defer sp.End()
 	assertValid(m)
 	opt = opt.withDefaults()
 	n := m.NumStates()
@@ -314,6 +318,8 @@ func (m *MDP) Prob1E(target, avoid []bool) []bool {
 // forbidden. States from which no strategy reaches the target almost surely
 // (while avoiding) get +Inf. The returned strategy attains the minimum.
 func (m *MDP) MinExpectedReward(target, avoid []bool, opt SolveOptions) (Result, error) {
+	sp := telemetry.StartSpan("mdp.min_expected_reward")
+	defer sp.End()
 	assertValid(m)
 	opt = opt.withDefaults()
 	n := m.NumStates()

@@ -110,9 +110,11 @@ func (c *Cache) Lookup(key CacheKey) (synth.Policy, float64, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		c.stats.Misses++
+		telCacheMisses.Inc()
 		return nil, 0, false
 	}
 	c.stats.Hits++
+	telCacheHits.Inc()
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
 	return e.policy, e.value, true
@@ -143,6 +145,7 @@ func (c *Cache) Store(key CacheKey, p synth.Policy, value float64) {
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.stats.Evictions++
+		telCacheEvictions.Inc()
 	}
 }
 
@@ -166,6 +169,7 @@ func (c *Cache) Invalidate(region geom.Rect) int {
 		el = next
 	}
 	c.stats.Invalidations += removed
+	telCacheInvalidations.Add(int64(removed))
 	return removed
 }
 

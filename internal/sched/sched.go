@@ -109,10 +109,12 @@ func (l *Library) Lookup(rj route.RJ) (synth.Policy, float64, bool) {
 	if !ok {
 		l.misses++
 		l.mu.Unlock()
+		telLibMisses.Inc()
 		return nil, 0, false
 	}
 	l.hits++
 	l.mu.Unlock()
+	telLibHits.Inc()
 	return e.policy.Translate(-dx, -dy), e.value, true
 }
 
@@ -255,6 +257,7 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 			return nil, 0, err
 		}
 		a.Syntheses++
+		telOnlineSyntheses.Inc()
 		if res.Exists() {
 			a.Lib.Store(rj, res.Policy, res.Value)
 		}
@@ -278,6 +281,7 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 			return nil, 0, err
 		}
 		a.Syntheses++
+		telOnlineSyntheses.Inc()
 		if res.Exists() {
 			a.Cache.Store(key, res.Policy, res.Value)
 		}
@@ -290,6 +294,7 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 		return nil, 0, err
 	}
 	a.Syntheses++
+	telOnlineSyntheses.Inc()
 	return res.Policy, res.Value, nil
 }
 
@@ -339,6 +344,7 @@ func (a *Adaptive) Prefetch(rj route.RJ, c *chip.Chip) bool {
 		}
 		a.mu.Lock()
 		a.prefetchSyntheses++
+		telPrefetchSyntheses.Inc()
 		delete(a.pending, key)
 		a.mu.Unlock()
 		close(done)

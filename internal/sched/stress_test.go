@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"meda/internal/chip"
+	"meda/internal/degrade"
+	"meda/internal/randx"
+	"meda/internal/route"
+	"meda/internal/synth"
+)
+
+// TestConcurrentCacheStress hammers the strategy cache and the prefetch
+// pool from background goroutines while the main goroutine routes, degrades
+// the chip, and invalidates — the exact interleaving the parallel adaptive
+// router sees when health goes dirty mid-assay. Its job is to give the race
+// detector (go test -race, the CI race step) something to chew on: every
+// Cache method, InvalidateRegion, Prefetch completion, and the pool
+// counters run concurrently.
+//
+// Live chip state is read and mutated only on the main goroutine (the
+// medalint chipaccess rule); the background goroutines confine themselves
+// to the cache and pool, which are the components documented as
+// goroutine-safe.
+func TestConcurrentCacheStress(t *testing.T) {
+	cfg := chip.Default()
+	cfg.Normal = degrade.ParamRange{Tau1: 0.5, Tau2: 0.9, C1: 200, C2: 500}
+	c, err := chip.New(cfg, randx.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hazard := rect(5, 5, 15, 12)
+	// Wear the region past fully-healthy so Route takes the health-keyed
+	// cache path instead of the library fast path.
+	for i := 0; i < 3000; i++ {
+		c.Actuate(hazard)
+	}
+	top := 1<<uint(c.HealthBits()) - 1
+	if c.MinHealth(hazard) == top {
+		t.Fatal("region still fully healthy; stress would only exercise the library path")
+	}
+
+	a := NewAdaptiveParallel(4, 32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pol := synth.Policy{}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := CacheKey{
+					Start:  rect(g+1, 1, g+3, 3),
+					Goal:   rect(25, 20, 27, 22),
+					Hazard: rect(g+1, 1, 27, 22),
+					Opts:   uint64(g),
+					Health: uint64(i % 7),
+				}
+				a.Cache.Store(key, pol, 1)
+				a.Cache.Lookup(key)
+				a.Cache.Contains(key)
+				if i%5 == 0 {
+					a.InvalidateRegion(rect(1, 1, 15, 15))
+				}
+				a.Cache.Len()
+				a.Cache.Stats()
+				a.PrefetchSyntheses()
+			}
+		}(g)
+	}
+
+	jobs := []route.RJ{
+		{Start: rect(6, 6, 8, 8), Goal: rect(12, 9, 14, 11), Hazard: hazard},
+		{Start: rect(6, 9, 8, 11), Goal: rect(12, 6, 14, 8), Hazard: hazard},
+		{Start: rect(9, 6, 11, 8), Goal: rect(6, 9, 8, 11), Hazard: hazard},
+	}
+	for i := 0; i < 12; i++ {
+		rj := jobs[i%len(jobs)]
+		if _, _, err := a.Route(rj, c, nil); err != nil {
+			t.Fatal(err)
+		}
+		a.Prefetch(jobs[(i+1)%len(jobs)], c)
+		if i%4 == 3 {
+			// Health goes dirty: the hash under every cached key changes,
+			// and the eager invalidation races the background lookups.
+			c.Actuate(hazard)
+			a.InvalidateRegion(hazard)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	a.Drain()
+
+	st := a.Cache.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("stress run never touched the cache")
+	}
+	if st.Invalidations == 0 {
+		t.Error("stress run never invalidated")
+	}
+	// Each health change rekeys the jobs, forcing re-synthesis: there must
+	// have been strictly more syntheses (online + prefetch) than distinct
+	// jobs.
+	if total := a.Syntheses + a.PrefetchSyntheses(); total <= len(jobs) {
+		t.Errorf("syntheses = %d, want > %d (health changes must force re-synthesis)",
+			total, len(jobs))
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"meda/internal/sched"
 	"meda/internal/smg"
 	"meda/internal/synth"
+	"meda/internal/telemetry"
 )
 
 // Config tunes one execution.
@@ -190,6 +191,10 @@ type moRT struct {
 	state moState
 	phase int
 	jobs  []*jobRT
+	// activatedAt is the cycle the operation became active; recorded marks
+	// that its activation→done cycle count has been observed by telemetry.
+	activatedAt int
+	recorded    bool
 	// prefetched marks that the operation's strategies were handed to a
 	// background prefetcher while it waited for its hazard zones.
 	prefetched bool
@@ -209,6 +214,27 @@ type outputKey struct{ mo, slot int }
 // Execute runs the bioassay once. The same Runner may be called repeatedly;
 // wear accumulates on the chip between executions.
 func (r *Runner) Execute(plan *route.Plan) (Execution, error) {
+	sp := telemetry.StartSpan("sim.execute")
+	exec, err := r.execute(plan)
+	sp.End()
+	if err != nil {
+		return exec, err
+	}
+	telExecutions.Inc()
+	telCycles.Add(int64(exec.Cycles))
+	telStalls.Add(int64(exec.Stalls))
+	telResyntheses.Add(int64(exec.Resyntheses))
+	telJobsDone.Add(int64(exec.JobsCompleted))
+	telRollbacks.Add(int64(exec.Rollbacks))
+	telExecCycles.Observe(float64(exec.Cycles))
+	if !exec.Success {
+		telAborts.Inc()
+	}
+	return exec, nil
+}
+
+// execute is the uninstrumented body of Execute.
+func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 	if plan.W != r.Chip.W() || plan.H != r.Chip.H() {
 		return Execution{}, fmt.Errorf("sim: plan compiled for %d×%d but chip is %d×%d",
 			plan.W, plan.H, r.Chip.W(), r.Chip.H())
@@ -572,6 +598,15 @@ func (r *Runner) Execute(plan *route.Plan) (Execution, error) {
 			r.dump(k, mos, droplets)
 		}
 
+		// 6c. Per-MO telemetry: observe each operation's activation→done
+		// cycle count the cycle it completes.
+		for _, m := range mos {
+			if m.state == moDone && !m.recorded {
+				m.recorded = true
+				telMOCycles.Observe(float64(k - m.activatedAt))
+			}
+		}
+
 		// 7. Finished?
 		allDone := true
 		for _, m := range mos {
@@ -665,6 +700,7 @@ func (r *Runner) inferFaults(m *moRT, k int) {
 // droplets, spawns/splits as needed, and fetches phase-0 strategies.
 func (r *Runner) activate(m *moRT, id int, outputs map[outputKey]*dropletRT, droplets *[]*dropletRT, k int, exec *Execution) {
 	m.state = moActive
+	m.activatedAt = k
 	cm := m.cm
 	claim := func(j int) *dropletRT {
 		key := outputKey{cm.InSlots[j][0], cm.InSlots[j][1]}

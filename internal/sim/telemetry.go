@@ -1,0 +1,23 @@
+package sim
+
+import "meda/internal/telemetry"
+
+// Simulation telemetry (internal/telemetry default registry), aggregated
+// over every Execute call in the process. Counters mirror the per-execution
+// fields of Execution; the histograms add the distributions the aggregate
+// hides: how long executions run and how many cycles each microfluidic
+// operation stays active (activation → done). sim.aborts counts executions
+// that ran down the KMax budget — the paper's "droplet stuck at faulty
+// microelectrodes" failure mode.
+var (
+	telExecutions  = telemetry.C("sim.executions")
+	telAborts      = telemetry.C("sim.aborts")
+	telCycles      = telemetry.C("sim.cycles")
+	telStalls      = telemetry.C("sim.stalls")
+	telResyntheses = telemetry.C("sim.resyntheses")
+	telJobsDone    = telemetry.C("sim.jobs_completed")
+	telRollbacks   = telemetry.C("sim.rollbacks")
+
+	telExecCycles = telemetry.H("sim.cycles_per_execution", telemetry.CountBuckets...)
+	telMOCycles   = telemetry.H("sim.cycles_per_mo", telemetry.CountBuckets...)
+)

@@ -8,8 +8,13 @@ func FuzzParse(f *testing.F) {
 	f.Add("Rmin=? [ G !hazard & F goal ]")
 	f.Add("Pmax=? [ F goal ]")
 	f.Add("Pmax=? [ [] !a & <> b ]")
+	f.Add("Rmin=? [ F goal & G !hazard ]")
+	f.Add("Pmax=?[F goal]")
+	f.Add("Rmin=? [ G ! hazard & F goal ] trailing")
 	f.Add("=?[]")
 	f.Add("Rmin")
+	f.Add("Rmin=? [ G !G & F F ]")
+	f.Add("Pmax=? [ <> <> x ]")
 	f.Fuzz(func(t *testing.T, src string) {
 		q, err := Parse(src)
 		if err != nil {
@@ -21,6 +26,49 @@ func FuzzParse(f *testing.F) {
 		}
 		if again != q {
 			t.Fatalf("round trip changed query: %+v vs %+v", again, q)
+		}
+	})
+}
+
+// plainIdent reports whether s is a label the grammar can express: a
+// nonempty identifier that does not collide with the G/F operator words.
+func plainIdent(s string) bool {
+	if s == "" || s == "G" || s == "F" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzQueryString drives the printer with arbitrary label names: String
+// must never panic, and whenever the labels are expressible in the grammar
+// the rendered text must parse back to the same query. This is the inverse
+// direction of FuzzParse — it finds printer bugs (missing spaces, operator
+// collisions) that parser-only fuzzing cannot reach.
+func FuzzQueryString(f *testing.F) {
+	f.Add(true, "hazard", "goal")
+	f.Add(false, "", "goal")
+	f.Add(true, "a_1", "B2")
+	f.Add(false, "G", "F")
+	f.Fuzz(func(t *testing.T, rmin bool, avoid, reach string) {
+		q := Query{Kind: PMax, Avoid: avoid, Reach: reach}
+		if rmin {
+			q.Kind = RMin
+		}
+		s := q.String() // must never panic, whatever the labels
+		if !plainIdent(reach) || (avoid != "" && !plainIdent(avoid)) {
+			return
+		}
+		again, err := Parse(s)
+		if err != nil {
+			t.Fatalf("rendered query %q does not parse: %v", s, err)
+		}
+		if again != q {
+			t.Fatalf("print/parse round trip changed query: %+v vs %+v", again, q)
 		}
 	})
 }

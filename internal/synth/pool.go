@@ -37,10 +37,17 @@ func (p *Pool) Workers() int { return cap(p.sem) }
 // until a worker slot is free.
 func (p *Pool) Go(fn func()) {
 	p.wg.Add(1)
+	telPoolJobs.Inc()
+	telPoolQueued.Add(1)
 	go func() {
 		defer p.wg.Done()
 		p.sem <- struct{}{}
-		defer func() { <-p.sem }()
+		telPoolQueued.Add(-1)
+		telPoolActive.Add(1)
+		defer func() {
+			telPoolActive.Add(-1)
+			<-p.sem
+		}()
 		fn()
 	}()
 }
@@ -55,9 +62,14 @@ func (p *Pool) TryGo(fn func()) bool {
 		return false
 	}
 	p.wg.Add(1)
+	telPoolJobs.Inc()
+	telPoolActive.Add(1)
 	go func() {
 		defer p.wg.Done()
-		defer func() { <-p.sem }()
+		defer func() {
+			telPoolActive.Add(-1)
+			<-p.sem
+		}()
 		fn()
 	}()
 	return true

@@ -18,6 +18,7 @@ import (
 	"meda/internal/route"
 	"meda/internal/smg"
 	"meda/internal/spec"
+	"meda/internal/telemetry"
 )
 
 // Options configures a synthesis run.
@@ -92,10 +93,15 @@ func Synthesize(rj route.RJ, field action.ForceField, opt Options) (Result, erro
 	if rj.Start.IsZero() {
 		return Result{}, fmt.Errorf("synth: %s has an off-chip start; normalize dispense jobs first", rj.Name())
 	}
+	sp := telemetry.StartSpan("synth.synthesize")
+	defer sp.End()
+	telSyntheses.Inc()
 	var res Result
 
 	t0 := time.Now()
+	spb := sp.Child("synth.model_build")
 	model, err := smg.Induce(rj.Hazard, rj.Start, rj.Goal, field, opt.Model)
+	spb.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("synth: %s: %w", rj.Name(), err)
 	}
@@ -104,6 +110,8 @@ func Synthesize(rj route.RJ, field action.ForceField, opt Options) (Result, erro
 	res.Stats.Transitions = model.M.NumTransitions()
 	res.Stats.Choices = model.M.NumChoices()
 	res.Model = model
+	telConstructNs.Add(res.Stats.Construction.Nanoseconds())
+	telStates.Observe(float64(res.Stats.States))
 
 	target, avoid, err := labelVectors(model, opt.Query)
 	if err != nil {
@@ -111,6 +119,7 @@ func Synthesize(rj route.RJ, field action.ForceField, opt Options) (Result, erro
 	}
 
 	t1 := time.Now()
+	sps := sp.Child("synth.solve")
 	var solved mdp.Result
 	switch opt.Query.Kind {
 	case spec.RMin:
@@ -120,12 +129,14 @@ func Synthesize(rj route.RJ, field action.ForceField, opt Options) (Result, erro
 	default:
 		err = fmt.Errorf("synth: unsupported query kind %v", opt.Query.Kind)
 	}
+	sps.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("synth: %s: %w", rj.Name(), err)
 	}
 	res.Stats.Synthesis = time.Since(t1)
 	res.Stats.Iterations = solved.Iterations
 	res.Value = solved.Values[model.Init]
+	telSolveNs.Add(res.Stats.Synthesis.Nanoseconds())
 
 	// PRISMG returns (∅, ∞) when no strategy exists (Alg. 2); mirror that.
 	if opt.Query.Kind == spec.RMin && math.IsInf(res.Value, 1) {
@@ -136,7 +147,9 @@ func Synthesize(rj route.RJ, field action.ForceField, opt Options) (Result, erro
 		assertReduced(model, nil, rj.Hazard)
 		return res, nil
 	}
+	spe := sp.Child("synth.extract")
 	res.Policy = Policy(model.Policy(solved.Strategy))
+	spe.End()
 	assertReduced(model, solved.Strategy, rj.Hazard)
 	return res, nil
 }

@@ -1,0 +1,23 @@
+package synth
+
+import "meda/internal/telemetry"
+
+// Synthesis telemetry (internal/telemetry default registry). The span tree
+// of one Synthesize call is synth.synthesize → {synth.model_build,
+// synth.solve, synth.extract}, mirroring the phases of Alg. 2 whose
+// durations Stats reports per call; the counters aggregate them
+// process-wide.
+var (
+	telSyntheses   = telemetry.C("synth.syntheses")
+	telConstructNs = telemetry.C("synth.construct_ns")
+	telSolveNs     = telemetry.C("synth.solve_ns")
+	// telStates is the distribution of induced model sizes.
+	telStates = telemetry.H("synth.model_states",
+		100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1e6)
+
+	// Pool telemetry: jobs accepted, queue depth (accepted but waiting for
+	// a worker slot) and active workers, sampled as gauges.
+	telPoolJobs   = telemetry.C("synth.pool.jobs")
+	telPoolQueued = telemetry.G("synth.pool.queue_depth")
+	telPoolActive = telemetry.G("synth.pool.active")
+)
