@@ -49,7 +49,10 @@ cover:
 	}; \
 	check ./internal/telemetry/ 90; \
 	check ./internal/sched/ 80; \
-	check ./internal/synth/ 80
+	check ./internal/synth/ 80; \
+	check ./internal/lint/ 80; \
+	check ./internal/lint/cfg/ 80; \
+	check ./internal/lint/dataflow/ 80
 
 # Short fuzz bursts over every fuzz target (parser robustness + print/parse
 # round trips). Each target needs its own invocation: -fuzz accepts exactly

@@ -123,7 +123,7 @@ func main() {
 		f, err := os.Create(*state)
 		if err == nil {
 			err = srv.SaveState(f)
-			if cerr := f.Close(); err == nil {
+			if cerr := f.Close(); cerr != nil && err == nil {
 				err = cerr
 			}
 		}

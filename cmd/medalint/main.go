@@ -3,10 +3,13 @@
 // story that the Go type system cannot see:
 //
 // Source mode (the default) runs the medalint analyzer suite — floatcmp,
-// chipaccess, ctxcancel, probliteral, lockorder — over Go packages and
-// prints compiler-style findings:
+// chipaccess, ctxcancel, probliteral, lockorder, nilstrategy, errflow,
+// snapshotflow, lockheld — over Go packages and prints compiler-style
+// findings, or with -json one JSON object per finding per line (pos,
+// analyzer, message) for machine consumption:
 //
 //	medalint ./...
+//	medalint -json ./...
 //	medalint -list
 //
 // Model mode verifies the statically checkable invariants of the synthesis
@@ -24,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +44,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
 	models := flag.Bool("models", false, "verify model invariants over the six benchmark assays instead of linting source")
 	area := flag.Int("area", 16, "dispensed-droplet area for -models compilation")
 	flag.Usage = func() {
@@ -69,12 +74,41 @@ func main() {
 			os.Exit(2)
 		}
 		for _, f := range findings {
-			fmt.Println(f)
+			if *jsonOut {
+				printJSON(f)
+			} else {
+				fmt.Println(f)
+			}
 		}
 		if len(findings) > 0 {
 			os.Exit(1)
 		}
 	}
+}
+
+// jsonFinding is the machine-readable shape of one finding; one object is
+// emitted per line so stream consumers need no closing bracket.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(f lint.Finding) {
+	out, err := json.Marshal(jsonFinding{
+		File:     f.Pos.Filename,
+		Line:     f.Pos.Line,
+		Column:   f.Pos.Column,
+		Analyzer: f.Analyzer,
+		Message:  f.Message,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medalint: encoding finding: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Println(string(out))
 }
 
 func firstLine(s string) string {

@@ -45,6 +45,10 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report records a diagnostic; the driver fills in Category.
 	Report func(Diagnostic)
+	// Facts is the cross-package fact store of the driver run (see
+	// facts.go); nil when the driver does not propagate facts. The
+	// Export/Import methods are nil-safe.
+	Facts *FactStore
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -101,7 +101,8 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 }
 
 // Diagnostics applies the analyzer to a loaded package and returns its
-// findings with Category filled in.
+// findings with Category filled in. The pass gets a fresh fact store, so
+// fact-producing analyzers see their own intra-package exports.
 func Diagnostics(t *testing.T, pkg *analysis.Package, a *analysis.Analyzer) []analysis.Diagnostic {
 	t.Helper()
 	var diags []analysis.Diagnostic
@@ -111,6 +112,7 @@ func Diagnostics(t *testing.T, pkg *analysis.Package, a *analysis.Analyzer) []an
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Facts:     analysis.NewFactStore(),
 		Report: func(d analysis.Diagnostic) {
 			d.Category = a.Name
 			diags = append(diags, d)

@@ -164,6 +164,64 @@ func (l *Loader) Dirs(patterns ...string) ([]string, error) {
 	return strings.Split(out, "\n"), nil
 }
 
+// DirsInDependencyOrder expands patterns like Dirs but orders the result
+// so every package appears after the packages it imports (restricted to
+// the matched set). Drivers that propagate Facts across packages analyze
+// in this order, so a pass importing a fact about an upstream package
+// finds what the upstream pass exported. Ties keep go list order, making
+// the output deterministic.
+func (l *Loader) DirsInDependencyOrder(patterns ...string) ([]string, error) {
+	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}\t{{range .Imports}}{{.}} {{end}}", "--"}, patterns...)
+	out, err := l.golist(args...)
+	if err != nil {
+		return nil, err
+	}
+	if out == "" {
+		return nil, nil
+	}
+	type pkg struct {
+		dir     string
+		imports []string
+	}
+	pkgs := make(map[string]pkg)
+	var order []string // go list order, for determinism
+	for _, line := range strings.Split(out, "\n") {
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("analysis: malformed go list line %q", line)
+		}
+		var imports []string
+		if len(parts) == 3 {
+			// The field is absent entirely for an import-free package at
+			// the end of the output (TrimSpace eats its trailing tab).
+			imports = strings.Fields(parts[2])
+		}
+		pkgs[parts[0]] = pkg{dir: parts[1], imports: imports}
+		order = append(order, parts[0])
+	}
+	var dirs []string
+	visited := make(map[string]bool, len(pkgs))
+	var visit func(path string)
+	visit = func(path string) {
+		if visited[path] {
+			return
+		}
+		visited[path] = true
+		p, ok := pkgs[path]
+		if !ok {
+			return // import outside the matched set
+		}
+		for _, imp := range p.imports {
+			visit(imp)
+		}
+		dirs = append(dirs, p.dir)
+	}
+	for _, path := range order {
+		visit(path)
+	}
+	return dirs, nil
+}
+
 // LoadDir parses and type-checks the package in dir. Build constraints are
 // honored and _test.go files are excluded, matching what ships in the
 // binary. Results are memoized per directory.

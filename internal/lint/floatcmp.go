@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"regexp"
@@ -17,7 +18,10 @@ import (
 // helpers of internal/mdp (ApproxEqual, IsZeroProb, IsOneProb); the bodies
 // of such helpers — any function whose name marks it as an epsilon
 // primitive — are exempt, as are comparisons where both operands are
-// compile-time constants.
+// compile-time constants and comparisons against the constants 0 and 1:
+// both are exactly representable in binary64, and the probability code
+// tests those boundaries deliberately (absorbing states, certain
+// transitions), so `p == 0` is a semantic check, not a rounding hazard.
 var FloatCmp = &analysis.Analyzer{
 	Name: "floatcmp",
 	Doc:  "flags ==/!= on floating-point values outside approved epsilon helpers",
@@ -51,6 +55,9 @@ func runFloatCmp(pass *analysis.Pass) error {
 				if xt.Value != nil && yt.Value != nil {
 					return true // constant-folded; no runtime comparison
 				}
+				if isBoundaryConst(xt.Value) || isBoundaryConst(yt.Value) {
+					return true // exact boundary: 0 and 1 are representable
+				}
 				pass.Reportf(be.OpPos,
 					"floating-point %s comparison; use an epsilon helper (mdp.ApproxEqual, mdp.IsZeroProb, mdp.IsOneProb)",
 					be.Op)
@@ -59,6 +66,17 @@ func runFloatCmp(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+// isBoundaryConst reports whether v is a compile-time constant exactly
+// equal to 0 or 1 — the probability boundaries, exactly representable in
+// every floating-point width.
+func isBoundaryConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	f, exact := constant.Float64Val(v)
+	return exact && (f == 0 || f == 1)
 }
 
 // isFloat reports whether t is (or is based on) a floating-point type.

@@ -1,16 +1,32 @@
 // Package lint is the medalint analyzer suite: domain-specific static
 // checks that guard the invariants the synthesis engine's correctness
 // argument rests on (Sec. VI-C's SMG→MDP reduction and the concurrent
-// synthesis path of Alg. 3). The five analyzers are
+// synthesis path of Alg. 3). The nine analyzers are
 //
-//	floatcmp    — no raw ==/!= on floating-point probabilities, forces or
-//	              values outside approved epsilon helpers
-//	chipaccess  — background goroutines must not read live chip.Chip
-//	              state; they get snapshots (chip.SnapshotForceField)
-//	ctxcancel   — synth.Pool submissions must keep the returned
-//	              handle/started flag, and Future errors must be checked
-//	probliteral — literal probabilities stay within [0, 1]
-//	lockorder   — mutexes in sched/synth are acquired in one global order
+//	floatcmp     — no raw ==/!= on floating-point probabilities, forces or
+//	               values outside approved epsilon helpers
+//	chipaccess   — background goroutines must not read live chip.Chip
+//	               state; they get snapshots (chip.SnapshotForceField)
+//	ctxcancel    — synth.Pool submissions must keep the returned
+//	               handle/started flag, and Future errors must be checked
+//	probliteral  — literal probabilities stay within [0, 1]
+//	lockorder    — mutexes in sched/synth are acquired in one global order
+//	nilstrategy  — a policy produced by a lookup reporting !ok must not
+//	               flow to a use without an ok/nil check on the path
+//	errflow      — an error assigned to a variable must be checked before
+//	               it is overwritten or the function returns
+//	snapshotflow — live force-field closures derived from a chip.Chip must
+//	               not cross into goroutines or pool submissions
+//	lockheld     — no potentially blocking call (channel op, Pool/Future
+//	               waits, solver entry points) while a mutex is held
+//
+// The first five are syntactic, single-pass checks; the last four are
+// flow-sensitive: each builds a per-function control-flow graph
+// (internal/lint/cfg) and solves a dataflow problem over it
+// (internal/lint/dataflow). lockheld additionally consumes cross-package
+// facts — "may block" markers exported while analyzing upstream packages —
+// so the driver analyzes packages in dependency order sharing one
+// analysis.FactStore.
 //
 // Each analyzer follows the go/analysis contract of internal/lint/analysis
 // and is exercised by an analysistest golden package under testdata/.
@@ -26,7 +42,10 @@ import (
 
 // Analyzers returns the full medalint suite, in reporting order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{FloatCmp, ChipAccess, CtxCancel, ProbLiteral, LockOrder}
+	return []*analysis.Analyzer{
+		FloatCmp, ChipAccess, CtxCancel, ProbLiteral, LockOrder,
+		NilStrategy, ErrFlow, SnapshotFlow, LockHeld,
+	}
 }
 
 // Finding is one diagnostic resolved to a file position.
@@ -44,17 +63,20 @@ func (f Finding) String() string {
 
 // Run loads every package matched by the patterns (relative to a directory
 // inside the module) and applies the analyzers, returning all findings
-// sorted by position. Packages that fail to load abort the run: the suite
-// lints only code that compiles.
+// sorted by position. Packages are analyzed in dependency order (imports
+// first) sharing one fact store, so fact-consuming analyzers like lockheld
+// see what upstream passes exported. Packages that fail to load abort the
+// run: the suite lints only code that compiles.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	loader, err := analysis.NewLoader(dir)
 	if err != nil {
 		return nil, err
 	}
-	dirs, err := loader.Dirs(patterns...)
+	dirs, err := loader.DirsInDependencyOrder(patterns...)
 	if err != nil {
 		return nil, err
 	}
+	facts := analysis.NewFactStore()
 	var findings []Finding
 	for _, d := range dirs {
 		pkg, err := loader.LoadDir(d)
@@ -69,6 +91,7 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Findi
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Facts:     facts,
 				Report: func(diag analysis.Diagnostic) {
 					findings = append(findings, Finding{
 						Analyzer: a.Name,

@@ -2,30 +2,65 @@ package lint_test
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"meda/internal/lint"
+	"meda/internal/lint/analysis"
 	"meda/internal/lint/analysis/analysistest"
 )
 
 func testdata(name string) string { return filepath.Join("testdata", name) }
 
-func TestFloatCmp(t *testing.T)    { analysistest.Run(t, testdata("floatcmp"), lint.FloatCmp) }
-func TestChipAccess(t *testing.T)  { analysistest.Run(t, testdata("chipaccess"), lint.ChipAccess) }
-func TestCtxCancel(t *testing.T)   { analysistest.Run(t, testdata("ctxcancel"), lint.CtxCancel) }
-func TestProbLiteral(t *testing.T) { analysistest.Run(t, testdata("probliteral"), lint.ProbLiteral) }
-func TestLockOrder(t *testing.T)   { analysistest.Run(t, testdata("lockorder"), lint.LockOrder) }
+func TestFloatCmp(t *testing.T)     { analysistest.Run(t, testdata("floatcmp"), lint.FloatCmp) }
+func TestChipAccess(t *testing.T)   { analysistest.Run(t, testdata("chipaccess"), lint.ChipAccess) }
+func TestCtxCancel(t *testing.T)    { analysistest.Run(t, testdata("ctxcancel"), lint.CtxCancel) }
+func TestProbLiteral(t *testing.T)  { analysistest.Run(t, testdata("probliteral"), lint.ProbLiteral) }
+func TestLockOrder(t *testing.T)    { analysistest.Run(t, testdata("lockorder"), lint.LockOrder) }
+func TestNilStrategy(t *testing.T)  { analysistest.Run(t, testdata("nilstrategy"), lint.NilStrategy) }
+func TestErrFlow(t *testing.T)      { analysistest.Run(t, testdata("errflow"), lint.ErrFlow) }
+func TestSnapshotFlow(t *testing.T) { analysistest.Run(t, testdata("snapshotflow"), lint.SnapshotFlow) }
+func TestLockHeld(t *testing.T)     { analysistest.Run(t, testdata("lockheld"), lint.LockHeld) }
 
-// TestSuiteRegistry: the multichecker exposes exactly the five analyzers,
+// TestLockHeldCrossPackageFacts drives the full Run pipeline over the
+// provider/consumer golden pair: the finding in consumer exists only when
+// the driver analyzes provider first and shares its MayBlock facts.
+func TestLockHeldCrossPackageFacts(t *testing.T) {
+	findings, err := lint.Run(".", []string{
+		// Deliberately listed consumer-first: the driver must reorder to
+		// dependency order on its own.
+		"./internal/lint/testdata/lockheldfacts/consumer",
+		"./internal/lint/testdata/lockheldfacts/provider",
+	}, []*analysis.Analyzer{lint.LockHeld})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "lockheld" {
+		t.Errorf("finding analyzer = %q, want lockheld", f.Analyzer)
+	}
+	if !strings.Contains(f.Message, "provider.Blocks") || !strings.Contains(f.Message, "channel receive") {
+		t.Errorf("finding message %q does not name the imported blocking function", f.Message)
+	}
+	if !strings.HasSuffix(f.Pos.Filename, "consumer.go") {
+		t.Errorf("finding at %s, want it inside consumer.go", f.Pos)
+	}
+}
+
+// TestSuiteRegistry: the multichecker exposes exactly the nine analyzers,
 // each named and documented.
 func TestSuiteRegistry(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) != 5 {
-		t.Fatalf("Analyzers() returned %d analyzers, want 5", len(as))
+	if len(as) != 9 {
+		t.Fatalf("Analyzers() returned %d analyzers, want 9", len(as))
 	}
 	want := map[string]bool{
 		"floatcmp": true, "chipaccess": true, "ctxcancel": true,
-		"probliteral": true, "lockorder": true,
+		"probliteral": true, "lockorder": true, "nilstrategy": true,
+		"errflow": true, "snapshotflow": true, "lockheld": true,
 	}
 	for _, a := range as {
 		if !want[a.Name] {

@@ -1,0 +1,126 @@
+// Package errflow is the golden input for the errflow analyzer.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+func produce() error       { return errors.New("boom") }
+func pair() (int, error)   { return 0, errors.New("boom") }
+func consume(err error)    { _ = err }
+func wrap(err error) error { return fmt.Errorf("wrapped: %w", err) }
+
+func overwritten() {
+	err := produce()
+	err = produce() // want `err is overwritten before the error assigned at .* is checked`
+	if err != nil {
+		consume(err)
+	}
+}
+
+func checkedThenReassigned() {
+	err := produce()
+	if err != nil {
+		return
+	}
+	err = produce()
+	consume(err)
+}
+
+func wrappingIsARead() {
+	err := produce()
+	err = wrap(err) // reading err on the right consumes it first
+	consume(err)
+}
+
+func checkedThenDropped() {
+	err := produce()
+	consume(err)
+	err = produce() // want `error assigned to err is not checked before the function returns on some path`
+}
+
+func droppedOnOnePath(flag bool) {
+	err := produce() // want `error assigned to err is not checked before the function returns on some path`
+	if flag {
+		consume(err)
+	}
+}
+
+func tupleDroppedOnOnePath() int {
+	n, err := pair() // want `error assigned to err is not checked before the function returns on some path`
+	if n > 0 {
+		consume(err)
+	}
+	return n
+}
+
+func tupleChecked() int {
+	n, err := pair()
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+func returningIsARead() error {
+	err := produce()
+	return err
+}
+
+func declForm(flag bool) {
+	var err error = produce() // want `error assigned to err is not checked before the function returns on some path`
+	if flag {
+		consume(err)
+	}
+}
+
+func nilStoreDoesNotTrack() {
+	var err error
+	err = nil
+	consume(err)
+}
+
+func copiesDoNotTrack() {
+	err := produce()
+	err2 := err // reads err (consuming it); a copy is not a fresh error
+	consume(err2)
+}
+
+// namedResult's assignment to err is how the function returns it.
+func namedResult() (err error) {
+	err = produce()
+	return
+}
+
+// closureCapture is excluded: the closure may consume err at any time.
+func closureCapture() {
+	err := produce()
+	defer func() { consume(err) }()
+}
+
+func overwrittenAcrossBranches(flag bool) {
+	err := produce()
+	if flag {
+		err = produce() // want `err is overwritten before the error assigned at .* is checked`
+	}
+	consume(err)
+}
+
+func loopLastErrorKept(tries int) error {
+	var err error
+	for i := 0; i < tries; i++ {
+		err = produce() // want `err is overwritten before the error assigned at .* is checked`
+	}
+	return err
+}
+
+func loopCheckedEachIteration(tries int) error {
+	for i := 0; i < tries; i++ {
+		err := produce()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -43,3 +43,28 @@ func constantFold() bool {
 	const a, b = 0.1, 0.2
 	return a+b == 0.3 // constant-folded: no runtime comparison, not flagged
 }
+
+// Comparisons against the exactly-representable boundaries 0 and 1 are
+// deliberate semantic checks (absorbing states, certain transitions), not
+// rounding hazards, and are not flagged in any spelling of the constant.
+func boundaries(p float64, f float32) bool {
+	if p == 0 || p != 1 {
+		return true
+	}
+	if f == 0.0 || f != 1.0 {
+		return true
+	}
+	const one = 1.0
+	if p == one {
+		return true
+	}
+	return 0 != p
+}
+
+// Non-boundary constants still compare approximately.
+func nearBoundaries(p float64) bool {
+	if p == 0.5 { // want `floating-point == comparison`
+		return true
+	}
+	return p != 1.0000001 // want `floating-point != comparison`
+}

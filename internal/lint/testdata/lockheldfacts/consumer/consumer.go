@@ -1,0 +1,29 @@
+// Package consumer is the downstream half of the lockheld cross-package
+// golden pair: it calls provider.Blocks while holding a mutex, which only
+// a driver that analyzes provider first and shares its facts can flag.
+package consumer
+
+import (
+	"sync"
+
+	"meda/internal/lint/testdata/lockheldfacts/provider"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) Bad(ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n = provider.Blocks(ch) // finding: blocking call under g.mu
+	return g.n
+}
+
+func (g *guarded) Good(ch chan int) int {
+	g.mu.Lock()
+	g.n = provider.Computes(g.n)
+	g.mu.Unlock()
+	return provider.Blocks(ch)
+}

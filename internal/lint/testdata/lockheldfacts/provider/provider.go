@@ -1,0 +1,10 @@
+// Package provider is the upstream half of the lockheld cross-package
+// golden pair: Blocks receives on a channel, so the lockheld pass over
+// this package exports a MayBlock fact about it for downstream packages.
+package provider
+
+// Blocks waits for a value; callers holding a mutex must not call it.
+func Blocks(ch chan int) int { return <-ch }
+
+// Computes is a pure function; no fact is exported about it.
+func Computes(n int) int { return n + 1 }

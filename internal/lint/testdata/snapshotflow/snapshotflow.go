@@ -1,0 +1,97 @@
+// Package snapshotflow is the golden input for the snapshotflow analyzer.
+package snapshotflow
+
+import (
+	"meda/internal/action"
+	"meda/internal/chip"
+	"meda/internal/geom"
+	"meda/internal/route"
+	"meda/internal/synth"
+)
+
+func region() geom.Rect { return geom.Rect{XA: 1, YA: 1, XB: 8, YB: 8} }
+
+func liveFieldIntoGoroutine(c *chip.Chip) {
+	field := c.ObservedForceField()
+	go func() {
+		_ = field(1, 1) // want `field holds a live chip force field`
+	}()
+}
+
+func liveFieldIntoPool(c *chip.Chip, p *synth.Pool) {
+	field := c.TrueForceField()
+	p.Go(func() {
+		_ = field(1, 1) // want `field holds a live chip force field`
+	})
+}
+
+func snapshotIsSafe(c *chip.Chip, p *synth.Pool) {
+	field := c.SnapshotForceField(region())
+	p.Go(func() {
+		_ = field(1, 1)
+	})
+}
+
+func inlineLiveFieldIntoSubmit(c *chip.Chip, p *synth.Pool) {
+	fut := p.Submit(route.RJ{}, c.ObservedForceField(), synth.DefaultOptions()) // want `live chip force field passed across a goroutine boundary`
+	_, _ = fut.Wait()
+}
+
+func inlineSnapshotIntoSubmit(c *chip.Chip, p *synth.Pool) {
+	fut := p.Submit(route.RJ{}, c.SnapshotForceField(region()), synth.DefaultOptions())
+	_, _ = fut.Wait()
+}
+
+func taintedVarIntoSubmit(c *chip.Chip, p *synth.Pool) {
+	field := c.ObservedForceField()
+	fut := p.Submit(route.RJ{}, field, synth.DefaultOptions()) // want `field holds a live chip force field`
+	_, _ = fut.Wait()
+}
+
+func reassignedFromSnapshotIsSafe(c *chip.Chip, p *synth.Pool) {
+	field := c.ObservedForceField()
+	_ = field(1, 1) // fine on the submitting goroutine
+	field = c.SnapshotForceField(region())
+	p.Go(func() {
+		_ = field(1, 1)
+	})
+}
+
+func reassignedToLiveIsFlagged(c *chip.Chip) {
+	field := c.SnapshotForceField(region())
+	field = c.ObservedForceField()
+	go func() {
+		_ = field(1, 1) // want `field holds a live chip force field`
+	}()
+}
+
+func taintFlowsThroughCopies(c *chip.Chip) {
+	a := c.TrueForceField()
+	b := a
+	go func() {
+		_ = b(2, 2) // want `b holds a live chip force field`
+	}()
+}
+
+// Even SnapshotForceField as an unbound method value closes over the live
+// chip: the copy only happens when it is finally called.
+func methodValueIsLive(c *chip.Chip) {
+	snap := c.SnapshotForceField
+	go func() {
+		_ = snap(region()) // want `snap holds a live chip force field`
+	}()
+}
+
+func unrelatedFuncValuesUntainted(p *synth.Pool) {
+	var field action.ForceField = func(x, y int) float64 { return 1 }
+	p.Go(func() {
+		_ = field(1, 1)
+	})
+}
+
+func scalarCopiesUntainted(c *chip.Chip, p *synth.Pool) {
+	w, h := c.W(), c.H()
+	p.Go(func() {
+		_ = w * h
+	})
+}
