@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmtcheck lint models assert cover fuzz verify bench
+.PHONY: build test race vet fmtcheck lint models assert cover fuzz verify bench benchgate faulttrial ci
 
 build:
 	$(GO) build ./...
@@ -64,11 +64,30 @@ fuzz:
 	$(GO) test ./internal/dsl/ -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dsl/ -run '^$$' -fuzz '^FuzzParseStability$$' -fuzztime $(FUZZTIME)
 
+# One deterministic fault-injection trial per evaluation assay: 5% mixed
+# fault rate, all fault classes, asserting hazard-free completion and
+# bounded completion-time inflation. CI's cover-fuzz job runs this; the
+# nightly workflow runs the full three-trial sweep.
+faulttrial:
+	$(GO) run ./cmd/medafuzz -trials 1 -seed 2021 -rate 0.05 -kinds all
+
 # Tier-1 verification plus the race detector and the static checkers.
 verify: build vet fmtcheck test race lint models assert cover
 
+# Everything the CI workflow gates on, in one local target.
+ci: verify fuzz faulttrial
+
 # Synthesis-engine benchmarks with allocation stats; results are recorded in
 # BENCH_synthesis.json so the performance trajectory is tracked across PRs.
+# Override BENCH_OUT to write a candidate report elsewhere (the CI bench
+# gate does, then diffs it against the committed baseline with benchdiff).
+BENCH_OUT ?= BENCH_synthesis.json
 bench:
-	$(GO) run ./cmd/medabench -out BENCH_synthesis.json
+	$(GO) run ./cmd/medabench -out $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkTableVSynthesisParallel|BenchmarkAblationResynthesisCache' -benchmem .
+
+# Local bench-regression gate: regenerate the report into a scratch file and
+# compare it against the committed baseline (warn +25%, fail 2x).
+benchgate:
+	$(GO) run ./cmd/medabench -out /tmp/meda-bench-new.json
+	$(GO) run ./cmd/benchdiff -base BENCH_synthesis.json -new /tmp/meda-bench-new.json

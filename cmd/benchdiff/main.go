@@ -1,0 +1,141 @@
+// Command benchdiff compares two medabench reports (BENCH_synthesis.json)
+// and gates on ns/op regressions: benchmarks slower than the warn threshold
+// are reported, and any benchmark slower than the fail threshold makes the
+// command exit nonzero. CI runs it against the committed baseline on every
+// pull request — warn-only inside the noise band of shared runners, hard
+// failure on step-change regressions.
+//
+//	benchdiff -base BENCH_synthesis.json -new /tmp/bench.json
+//	benchdiff -base BENCH_synthesis.json -new /tmp/bench.json -warn 0.25 -fail 2.0 -out diff.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+type report struct {
+	Benchmarks []struct {
+		Name     string  `json:"name"`
+		NsPerOp  float64 `json:"ns_per_op"`
+		BytesOp  int64   `json:"bytes_per_op"`
+		AllocsOp int64   `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+func readReport(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return r, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return r, nil
+}
+
+// run is the testable body of main: it returns the process exit code
+// (0 = within tolerance or warn-only, 1 = hard regression, 2 = usage or
+// input error).
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	base := fs.String("base", "BENCH_synthesis.json", "baseline report (committed)")
+	next := fs.String("new", "", "candidate report to compare against the baseline")
+	warn := fs.Float64("warn", 0.25, "warn when ns/op regresses by more than this fraction")
+	fail := fs.Float64("fail", 2.0, "fail when ns/op regresses to more than this multiple of the baseline")
+	outFile := fs.String("out", "", "also write the comparison to this file (CI artifact)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *next == "" {
+		fmt.Fprintln(errw, "benchdiff: -new is required")
+		return 2
+	}
+	baseRep, err := readReport(*base)
+	if err != nil {
+		fmt.Fprintf(errw, "benchdiff: %v\n", err)
+		return 2
+	}
+	newRep, err := readReport(*next)
+	if err != nil {
+		fmt.Fprintf(errw, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	baseline := make(map[string]float64, len(baseRep.Benchmarks))
+	for _, b := range baseRep.Benchmarks {
+		baseline[b.Name] = b.NsPerOp
+	}
+
+	writers := []io.Writer{out}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(errw, "benchdiff: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		writers = append(writers, f)
+	}
+	w := io.MultiWriter(writers...)
+
+	names := make([]string, 0, len(newRep.Benchmarks))
+	ratios := make(map[string]float64, len(newRep.Benchmarks))
+	news := make(map[string]float64, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		names = append(names, b.Name)
+		news[b.Name] = b.NsPerOp
+		if old, ok := baseline[b.Name]; ok && old > 0 {
+			ratios[b.Name] = b.NsPerOp / old
+		}
+	}
+	sort.Strings(names)
+
+	warned, failed := 0, 0
+	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		ratio, ok := ratios[name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %14s %14.0f %8s  (no baseline)\n", name, "-", news[name], "-")
+			continue
+		}
+		status := ""
+		switch {
+		case ratio > *fail:
+			status = "  FAIL"
+			failed++
+		case ratio > 1+*warn:
+			status = "  WARN"
+			warned++
+		case ratio < 1/(1+*warn):
+			status = "  improved"
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %7.2fx%s\n", name, baseline[name], news[name], ratio, status)
+	}
+	for name := range baseline {
+		if _, ok := news[name]; !ok {
+			fmt.Fprintf(w, "%-40s  missing from new report\n", name)
+			warned++
+		}
+	}
+	fmt.Fprintf(w, "\n%d benchmarks, %d warnings (> +%.0f%%), %d failures (> %.1fx)\n",
+		len(names), warned, *warn*100, failed, *fail)
+	if failed > 0 {
+		fmt.Fprintf(errw, "benchdiff: %d benchmark(s) regressed beyond %.1fx\n", failed, *fail)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -14,6 +14,7 @@ import (
 
 	"meda/internal/assay"
 	"meda/internal/exp"
+	"meda/internal/fault"
 	"meda/internal/telemetry"
 )
 
@@ -22,9 +23,24 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink trial counts for a fast run")
 	workers := flag.Int("workers", -1, "background synthesis workers for adaptive routers (0 = GOMAXPROCS, negative = synchronous routing)")
 	cacheSize := flag.Int("cache", -1, "strategy-cache bound for adaptive routers (0 disables, negative = default)")
+	inject := flag.Float64("inject", 0, "soft-fault injection rate for all drivers (0 disables)")
+	injectKinds := flag.String("inject-kinds", "all", "soft-fault classes: comma list of act, sense, ctl (or all, none)")
+	injectSeed := flag.Uint64("inject-seed", 0, "soft-fault seed (0 = experiment seed)")
 	traceFile := flag.String("trace", "", "write telemetry spans as JSONL to this file")
 	flag.Parse()
 	exp.SetRouterConfig(*workers, *cacheSize)
+	if *inject > 0 {
+		kinds, err := fault.ParseKinds(*injectKinds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "medaexp: %v\n", err)
+			os.Exit(2)
+		}
+		fseed := *injectSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		exp.SetFaultInjection(fault.Mixed(fseed, *inject, kinds))
+	}
 	targets := flag.Args()
 	if len(targets) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: medaexp [-seed N] [-quick] fig2|fig3|fig5|fig6|fig7|fig15|fig16|tab4|tab5|recovery|bits|alphabet|ttr|all")

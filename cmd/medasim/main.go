@@ -36,8 +36,11 @@ func main() {
 	executions := flag.Int("executions", 5, "consecutive executions on the same chip")
 	kmax := flag.Int("kmax", 1000, "cycle budget per execution")
 	area := flag.Int("area", 16, "dispensed droplet area (16 = 4×4)")
-	faults := flag.String("faults", "none", "fault injection: none, uniform, clustered")
+	faults := flag.String("faults", "none", "hard-fault injection: none, uniform, clustered")
 	fraction := flag.Float64("fraction", 0.12, "fraction of faulty microelectrodes")
+	inject := flag.Float64("inject", 0, "soft-fault injection rate (0 disables); enables the graceful-degradation router ladder")
+	injectKinds := flag.String("inject-kinds", "all", "soft-fault classes: comma list of act, sense, ctl (or all, none)")
+	injectSeed := flag.Uint64("inject-seed", 0, "soft-fault seed (0 = simulation seed)")
 	file := flag.String("file", "", "run a custom assay from a .assay description file instead of a named benchmark")
 	workers := flag.Int("workers", 0, "background synthesis workers for the adaptive router (0 = GOMAXPROCS, negative = synchronous routing)")
 	cacheSize := flag.Int("cache", -1, "strategy-cache bound for the adaptive router (0 disables, negative = default)")
@@ -92,9 +95,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "medasim: -faults must be none, uniform, or clustered")
 		os.Exit(2)
 	}
+	kinds, err := meda.ParseFaultKinds(*injectKinds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medasim: %v\n", err)
+		os.Exit(2)
+	}
 
 	var plan *meda.Plan
-	var err error
 	title := ""
 	if *file != "" {
 		f, ferr := os.Open(*file)
@@ -140,6 +147,14 @@ func main() {
 		}
 		simCfg := meda.DefaultSimConfig()
 		simCfg.KMax = *kmax
+		if *inject > 0 {
+			fseed := *injectSeed
+			if fseed == 0 {
+				fseed = *seed
+			}
+			simCfg = simCfg.WithFaults(meda.MixedFaultPlan(fseed, *inject, kinds))
+			r = meda.NewFallbackRouter(r)
+		}
 		runner := meda.NewRunner(simCfg, c, r, src.Split("sim"))
 		fmt.Printf("\n%s router:\n", name)
 		for e := 1; e <= *executions; e++ {
@@ -154,6 +169,10 @@ func main() {
 			}
 			fmt.Printf("  run %2d: %4d cycles  %-7s  (stalls %d, re-syntheses %d)\n",
 				e, exec.Cycles, status, exec.Stalls, exec.Resyntheses)
+			if *inject > 0 {
+				fmt.Printf("          divergences %d, degraded jobs %d, hazard violations %d\n",
+					exec.Divergences, exec.DegradedJobs, exec.HazardViolations)
+			}
 			if !exec.Success {
 				fmt.Printf("  chip too degraded to continue\n")
 				break

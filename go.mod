@@ -2,7 +2,7 @@ module meda
 
 go 1.22
 
-// No requirements — the module is deliberately stdlib-only (DESIGN.md §10).
+// No requirements — the module is deliberately stdlib-only (DESIGN.md §11).
 // In particular, golang.org/x/tools is NOT required: internal/lint/analysis
 // mirrors the go/analysis API (v0.24.0 shape) on the standard library so
 // cmd/medalint builds offline; switching to the real framework is a

@@ -63,12 +63,36 @@ func (c Config) Validate() error {
 	return c.Faults.Validate()
 }
 
+// FaultModel perturbs the chip's physical and sensed behaviour — the
+// interface internal/fault's Injector implements. The chip declares the
+// interface locally so the dependency points from the fault subsystem to the
+// chip, not the other way around.
+//
+// PhysicalDegradation maps the fault-free degradation level d of the cell at
+// (x, y) with actuation count n to the effective level driving EWOD force.
+// SensedHealth maps the fault-free b-bit health code h of the same cell to
+// the code the sensor actually reports. Both must be pure functions of their
+// arguments (plus the model's fixed seed): the chip calls them on every
+// force and health read, including from snapshot copies taken for background
+// synthesis workers.
+type FaultModel interface {
+	PhysicalDegradation(x, y, n int, d float64) float64
+	SensedHealth(x, y, n, h, bits int) int
+}
+
 // Chip is the simulated biochip state.
 type Chip struct {
-	w, h int
-	bits int
-	mcs  []degrade.MC // row-major, index = (y−1)*w + (x−1)
+	w, h   int
+	bits   int
+	mcs    []degrade.MC // row-major, index = (y−1)*w + (x−1)
+	faults FaultModel   // nil means fault-free
 }
+
+// AttachFaults overlays a fault model on the chip's force production and
+// health sensing. Passing nil detaches. Attach before handing the chip to a
+// runner; the overlay itself is safe for concurrent reads but attaching is
+// not synchronized against them.
+func (c *Chip) AttachFaults(f FaultModel) { c.faults = f }
 
 // New instantiates a biochip, sampling per-MC degradation constants and
 // placing hard faults according to the configuration. All randomness comes
@@ -132,12 +156,18 @@ func (c *Chip) Actuations(x, y int) int {
 }
 
 // Degradation returns the hidden degradation level D at (x, y); off-chip
-// cells report 0 (no EWOD force beyond the array edge).
+// cells report 0 (no EWOD force beyond the array edge). An attached fault
+// model perturbs the level (stuck cells, transient dropouts).
 func (c *Chip) Degradation(x, y int) float64 {
 	if !c.Contains(x, y) {
 		return 0
 	}
-	return c.mcs[c.index(x, y)].Degradation()
+	mc := &c.mcs[c.index(x, y)]
+	d := mc.Degradation()
+	if c.faults != nil {
+		d = c.faults.PhysicalDegradation(x, y, mc.N, d)
+	}
+	return d
 }
 
 // Force returns the relative EWOD force F̄ = D² at (x, y), 0 off-chip.
@@ -146,12 +176,19 @@ func (c *Chip) Force(x, y int) float64 {
 	return d * d
 }
 
-// Health returns the observed b-bit health code at (x, y), 0 off-chip.
+// Health returns the observed b-bit health code at (x, y), 0 off-chip. An
+// attached fault model perturbs the reading (sensed stuck cells, flipped or
+// stale sensor codes).
 func (c *Chip) Health(x, y int) int {
 	if !c.Contains(x, y) {
 		return 0
 	}
-	return c.mcs[c.index(x, y)].Health(c.bits)
+	mc := &c.mcs[c.index(x, y)]
+	h := mc.Health(c.bits)
+	if c.faults != nil {
+		h = c.faults.SensedHealth(x, y, mc.N, h, c.bits)
+	}
+	return h
 }
 
 // TrueForceField is the simulator's force field, computed from the hidden

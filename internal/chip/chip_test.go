@@ -307,3 +307,91 @@ func TestBounds(t *testing.T) {
 		t.Errorf("Bounds = %v", c.Bounds())
 	}
 }
+
+// flipModel is a FaultModel stub: it halves physical degradation everywhere
+// and decrements every health reading, recording the actuation counts it was
+// consulted with.
+type flipModel struct {
+	physCalls, senseCalls int
+	lastN                 int
+}
+
+func (m *flipModel) PhysicalDegradation(x, y, n int, d float64) float64 {
+	m.physCalls++
+	m.lastN = n
+	return d / 2
+}
+
+func (m *flipModel) SensedHealth(x, y, n, h, bits int) int {
+	m.senseCalls++
+	if h > 0 {
+		return h - 1
+	}
+	return h
+}
+
+// TestAttachFaultsOverlaysReads: an attached fault model perturbs both
+// Degradation (and therefore Force and TrueForceField) and Health (and
+// therefore HealthHash, MinHealth, ObservedForceField); detaching restores
+// fault-free reads.
+func TestAttachFaultsOverlaysReads(t *testing.T) {
+	c := newTestChip(t, Default(), 5)
+	cleanD := c.Degradation(10, 10)
+	cleanH := c.Health(10, 10)
+	cleanHash := c.HealthHash(c.Bounds())
+	m := &flipModel{}
+	c.AttachFaults(m)
+	if got := c.Degradation(10, 10); math.Abs(got-cleanD/2) > 1e-12 {
+		t.Errorf("faulted degradation = %v, want %v", got, cleanD/2)
+	}
+	if got := c.Force(10, 10); math.Abs(got-(cleanD/2)*(cleanD/2)) > 1e-12 {
+		t.Errorf("faulted force = %v", got)
+	}
+	if got := c.Health(10, 10); got != cleanH-1 {
+		t.Errorf("faulted health = %d, want %d", got, cleanH-1)
+	}
+	if c.HealthHash(c.Bounds()) == cleanHash {
+		t.Error("health hash unchanged under a health-perturbing fault model")
+	}
+	if got := c.MinHealth(c.Bounds()); got != cleanH-1 {
+		t.Errorf("faulted MinHealth = %d, want %d", got, cleanH-1)
+	}
+	if m.physCalls == 0 || m.senseCalls == 0 {
+		t.Error("fault model never consulted")
+	}
+	c.AttachFaults(nil)
+	if c.Degradation(10, 10) != cleanD || c.Health(10, 10) != cleanH {
+		t.Error("detaching did not restore fault-free reads")
+	}
+	if c.HealthHash(c.Bounds()) != cleanHash {
+		t.Error("detaching did not restore the health hash")
+	}
+}
+
+// TestFaultModelSeesActuationCount: the overlay receives the cell's current
+// actuation count, which epoch-bucketed sensor faults depend on.
+func TestFaultModelSeesActuationCount(t *testing.T) {
+	c := newTestChip(t, Default(), 5)
+	m := &flipModel{}
+	c.AttachFaults(m)
+	for i := 0; i < 7; i++ {
+		c.Actuate(rect(3, 3, 3, 3))
+	}
+	c.Degradation(3, 3)
+	if m.lastN != 7 {
+		t.Errorf("fault model saw n=%d, want 7", m.lastN)
+	}
+}
+
+// TestSnapshotForceFieldCarriesFaults: a snapshot taken under an attached
+// fault model bakes the perturbed readings in — background synthesis
+// workers plan against the faulted observation, like the live path.
+func TestSnapshotForceFieldCarriesFaults(t *testing.T) {
+	c := newTestChip(t, Default(), 5)
+	clean := c.SnapshotForceField(rect(5, 5, 10, 10))(7, 7)
+	c.AttachFaults(&flipModel{})
+	faulted := c.SnapshotForceField(rect(5, 5, 10, 10))(7, 7)
+	if clean == faulted {
+		t.Error("snapshot ignored the attached fault model")
+	}
+}

@@ -1,6 +1,8 @@
 package device
 
 import (
+	"bufio"
+	"encoding/json"
 	"net"
 	"strings"
 	"testing"
@@ -254,5 +256,136 @@ func TestTwoControllersShareTheChip(t *testing.T) {
 	cyc, err := c1.Cycle()
 	if err != nil || cyc != 1 {
 		t.Errorf("shared cycle = %d/%v", cyc, err)
+	}
+}
+
+// TestMalformedRequestLine: a line that is not JSON gets an error response
+// on the same connection, which stays usable afterwards.
+func TestMalformedRequestLine(t *testing.T) {
+	c, err := chip.New(robustConfig(), randx.New(7).Split("chip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(c, randx.New(7).Split("nature"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.Serve(ln)
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(raw)
+	if !sc.Scan() {
+		t.Fatal("no response to a malformed line")
+	}
+	var resp Response
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "bad request") {
+		t.Errorf("malformed line response = %+v", resp)
+	}
+	// The connection survives: a well-formed request still works.
+	if _, err := raw.Write([]byte(`{"op":"info"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("connection dead after a malformed line")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil || !resp.OK {
+		t.Errorf("info after malformed line = %+v/%v", resp, err)
+	}
+}
+
+// TestDispenseOverlapNamesOccupant: the occupied-dispense error identifies
+// the droplet in the way, including an exact (not just margin) overlap.
+func TestDispenseOverlapNamesOccupant(t *testing.T) {
+	conn := startServer(t, robustConfig(), 8)
+	id, err := conn.Dispense(rect(10, 10, 13, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := mustErr(t, conn, Request{Op: "dispense", Rect: [4]int{10, 10, 13, 13}})
+	if !strings.Contains(msg, "occupied by droplet") || !strings.Contains(msg, "1") {
+		t.Errorf("exact-overlap dispense error %q does not name droplet %d", msg, id)
+	}
+	// Inverted (invalid) rects are rejected before any overlap check.
+	if !strings.Contains(mustErr(t, conn, Request{Op: "dispense", Rect: [4]int{5, 5, 2, 2}}), "off-chip") {
+		t.Error("inverted dispense rect accepted")
+	}
+}
+
+// TestActHoldUnknownDroplet: act and hold on an id that was never dispensed
+// both fail without advancing the operational cycle.
+func TestActHoldUnknownDroplet(t *testing.T) {
+	conn := startServer(t, robustConfig(), 9)
+	if !strings.Contains(mustErr(t, conn, Request{Op: "act", ID: 42, Action: "aE"}), "no droplet") {
+		t.Error("act on unknown id: wrong error")
+	}
+	if !strings.Contains(mustErr(t, conn, Request{Op: "hold", ID: 42}), "no droplet") {
+		t.Error("hold on unknown id: wrong error")
+	}
+	cyc, err := conn.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc != 0 {
+		t.Errorf("failed requests advanced the cycle to %d", cyc)
+	}
+}
+
+// TestHealthRegionClipping: a region entirely off-chip errors; one partially
+// off-chip is clipped, and the clipped rect sizes the returned codes.
+func TestHealthRegionClipping(t *testing.T) {
+	conn := startServer(t, robustConfig(), 10)
+	if !strings.Contains(mustErr(t, conn, Request{Op: "health", Rect: [4]int{-10, -10, -5, -5}}), "off-chip") {
+		t.Error("fully off-chip health region: wrong error")
+	}
+	region, codes, err := conn.Health(rect(-3, -3, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region != rect(1, 1, 2, 2) {
+		t.Errorf("clipped region = %v, want [1,1,2,2]", region)
+	}
+	if len(codes) != region.Width()*region.Height() {
+		t.Errorf("%d codes for a %d-cell region", len(codes), region.Width()*region.Height())
+	}
+}
+
+// TestRoundTripOnClosedTransport: requests after Close surface a transport
+// error, not a silent zero response.
+func TestRoundTripOnClosedTransport(t *testing.T) {
+	conn := startServer(t, robustConfig(), 11)
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := conn.Info(); err == nil {
+		t.Error("Info on a closed connection succeeded")
+	}
+}
+
+// TestServerDropsMidResponse: the controller sees ErrUnexpectedEOF when the
+// server goes away between request and response.
+func TestServerDropsMidResponse(t *testing.T) {
+	client, server := net.Pipe()
+	conn := NewConn(client)
+	defer conn.Close()
+	go func() {
+		// Swallow the request, then hang up without answering.
+		buf := make([]byte, 1024)
+		server.Read(buf)
+		server.Close()
+	}()
+	if _, _, _, err := conn.Info(); err == nil {
+		t.Error("no error when the server hung up mid-request")
 	}
 }

@@ -68,9 +68,9 @@ func HealthBits(cfg HealthBitsConfig) ([]HealthBitsRow, error) {
 			if err != nil {
 				return err
 			}
-			simCfg := sim.DefaultConfig()
+			simCfg := baseSimConfig()
 			simCfg.KMax = cfg.KMax
-			runner := sim.NewRunner(simCfg, c, newAdaptive(), src.Split("sim"))
+			runner := sim.NewRunner(simCfg, c, adaptiveRouter(), src.Split("sim"))
 			for e := 0; e < cfg.Executions; e++ {
 				exec, err := runner.Execute(plan)
 				if err != nil {

@@ -24,8 +24,10 @@ import (
 	"sync"
 	"text/tabwriter"
 
+	"meda/internal/fault"
 	"meda/internal/geom"
 	"meda/internal/sched"
+	"meda/internal/sim"
 )
 
 // Router configuration for the drivers, set once from command-line flags
@@ -45,6 +47,29 @@ func SetRouterConfig(workers, cacheSize int) {
 	routerCacheSize = cacheSize
 }
 
+// Soft-fault injection for the drivers, set once from command-line flags
+// before any experiment runs. The zero plan disables injection.
+var faultPlan fault.Plan
+
+// SetFaultInjection enables seed-driven soft-fault injection (actuation,
+// sensing, control-plane) for every subsequent experiment driver. Drivers
+// pick the plan up through baseSimConfig, and adaptiveRouter wraps routers
+// in the graceful-degradation ladder so injected synthesis failures fall
+// back instead of aborting. Call before running any driver.
+func SetFaultInjection(p fault.Plan) {
+	faultPlan = p
+}
+
+// baseSimConfig is the simulation config every driver starts from: the
+// defaults, plus the configured soft-fault plan when injection is enabled.
+func baseSimConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	if faultPlan.Enabled() {
+		cfg = cfg.WithFaults(faultPlan)
+	}
+	return cfg
+}
+
 // newAdaptive builds an adaptive router per the configured parallelism.
 func newAdaptive() *sched.Adaptive {
 	if routerWorkers < 0 {
@@ -57,6 +82,17 @@ func newAdaptive() *sched.Adaptive {
 		return a
 	}
 	return sched.NewAdaptiveParallel(routerWorkers, routerCacheSize)
+}
+
+// adaptiveRouter is newAdaptive plus the degradation ladder: under fault
+// injection the adaptive router is wrapped in a Fallback so injected
+// synthesis timeouts retry and then fall back to the baseline router.
+func adaptiveRouter() sched.Router {
+	a := newAdaptive()
+	if faultPlan.Enabled() {
+		return sched.NewFallback(a, sched.NewBaseline())
+	}
+	return a
 }
 
 // newTable returns a tabwriter for aligned experiment output.

@@ -80,7 +80,7 @@ func Fig15(cfg Fig15Config) ([]Fig15Point, error) {
 					if err != nil {
 						return err
 					}
-					simCfg := sim.DefaultConfig()
+					simCfg := baseSimConfig()
 					simCfg.KMax = kmax
 					runner := sim.NewRunner(simCfg, c, newRouter(router), src.Split("sim"))
 					for e := 0; e < cfg.Executions; e++ {
@@ -130,7 +130,7 @@ func compilePlan(cc chip.Config, bench assay.Benchmark, area int) (*route.Plan, 
 
 func newRouter(name string) sched.Router {
 	if name == "adaptive" {
-		return newAdaptive()
+		return adaptiveRouter()
 	}
 	return sched.NewBaseline()
 }

@@ -79,7 +79,7 @@ func Fig16(cfg Fig16Config) ([]Fig16Row, error) {
 				trialResults := make([]sim.TrialResult, cfg.Trials)
 				err := parallelTrials(cfg.Trials, func(trial int) error {
 					tc := sim.TrialConfig{
-						Sim:        sim.DefaultConfig(),
+						Sim:        baseSimConfig(),
 						Chip:       cfg.Chip,
 						Executions: cfg.Executions,
 						Area:       cfg.Area,

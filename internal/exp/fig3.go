@@ -96,7 +96,7 @@ func recordActuations(cfg Fig3Config, bench assay.Benchmark, side int, src *rand
 	if err != nil {
 		return nil, err
 	}
-	runner := sim.NewRunner(sim.DefaultConfig(), c, sched.NewBaseline(), src.Split("sim"))
+	runner := sim.NewRunner(baseSimConfig(), c, sched.NewBaseline(), src.Split("sim"))
 	vectors := make([][]bool, cfg.W*cfg.H)
 	runner.Hook = func(k int, patterns []geom.Rect) {
 		row := make([]bool, cfg.W*cfg.H)

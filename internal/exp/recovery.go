@@ -77,7 +77,7 @@ func Recovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 	controllers := []controller{
 		{"baseline", func() sched.Router { return sched.NewBaseline() }, false},
 		{"reactive", func() sched.Router { return sched.NewBaseline() }, true},
-		{"adaptive", func() sched.Router { return newAdaptive() }, false},
+		{"adaptive", func() sched.Router { return adaptiveRouter() }, false},
 	}
 	var out []RecoveryRow
 	for _, bench := range cfg.Assays {
@@ -102,7 +102,7 @@ func Recovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 				if err != nil {
 					return nil, err
 				}
-				simCfg := sim.DefaultConfig()
+				simCfg := baseSimConfig()
 				simCfg.KMax = cfg.KMax
 				if ctl.recovery {
 					simCfg.Recovery = sim.DefaultRecovery()

@@ -50,7 +50,7 @@ func TimeToResult(seed uint64) ([]TTRRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		runner := sim.NewRunner(sim.DefaultConfig(), c, sched.NewBaseline(), src.Split("sim"))
+		runner := sim.NewRunner(baseSimConfig(), c, sched.NewBaseline(), src.Split("sim"))
 		exec, err := runner.Execute(plan)
 		if err != nil {
 			return nil, err

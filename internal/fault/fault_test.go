@@ -1,0 +1,300 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseKinds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kinds
+	}{
+		{"all", AllKinds},
+		{"none", 0},
+		{"", 0},
+		{"act", Actuation},
+		{"actuation", Actuation},
+		{"sense,ctl", Sensing | Control},
+		{"act, sense , ctl", AllKinds},
+		{"ACT,Control", Actuation | Control},
+	}
+	for _, c := range cases {
+		got, err := ParseKinds(c.in)
+		if err != nil {
+			t.Fatalf("ParseKinds(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseKinds(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseKinds("bogus"); err == nil {
+		t.Error("ParseKinds(bogus): want error")
+	}
+}
+
+func TestKindsString(t *testing.T) {
+	if got := AllKinds.String(); got != "act,sense,ctl" {
+		t.Errorf("AllKinds.String() = %q", got)
+	}
+	if got := Kinds(0).String(); got != "none" {
+		t.Errorf("Kinds(0).String() = %q", got)
+	}
+	// String and ParseKinds round-trip.
+	for _, k := range []Kinds{Actuation, Sensing, Control, Actuation | Control, AllKinds} {
+		back, err := ParseKinds(k.String())
+		if err != nil || back != k {
+			t.Errorf("round trip %v -> %q -> %v (err %v)", k, k.String(), back, err)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := Mixed(1, 0.05, AllKinds)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Mixed plan invalid: %v", err)
+	}
+	bad := []Plan{
+		{StuckOff: -0.1},
+		{Transient: 1.5},
+		{StuckOff: 0.7, StuckOn: 0.7},
+		{StuckAfterLo: 5, StuckAfterHi: 2},
+		{SensorEpoch: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated", i)
+		}
+	}
+}
+
+func TestPlanEnabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Error("zero plan reports Enabled")
+	}
+	if (Plan{Seed: 99}).Enabled() {
+		t.Error("seed-only plan reports Enabled")
+	}
+	if !(Plan{CachePoison: 0.1}).Enabled() {
+		t.Error("cache-poison plan not Enabled")
+	}
+	if Mixed(1, 0, AllKinds).Enabled() {
+		t.Error("zero-rate Mixed plan reports Enabled")
+	}
+}
+
+func TestMixedKindsSelect(t *testing.T) {
+	p := Mixed(1, 0.1, Sensing)
+	if p.StuckOff != 0 || p.SynthTimeout != 0 {
+		t.Errorf("Sensing-only plan has non-sensing rates: %+v", p)
+	}
+	if p.SensorFlip == 0 || p.SensorStale == 0 {
+		t.Errorf("Sensing-only plan missing sensing rates: %+v", p)
+	}
+	if got := Mixed(1, 5, Control).SynthTimeout; got != 1 {
+		t.Errorf("rate clamp: SynthTimeout = %v, want 1", got)
+	}
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	p := Mixed(42, 0.2, AllKinds)
+	a, b := New(p, 60, 30), New(p, 60, 30)
+	for n := 0; n < 500; n += 17 {
+		for y := 1; y <= 30; y += 3 {
+			for x := 1; x <= 60; x += 5 {
+				if a.PhysicalDegradation(x, y, n, 0.5) != b.PhysicalDegradation(x, y, n, 0.5) {
+					t.Fatalf("PhysicalDegradation diverged at (%d,%d,%d)", x, y, n)
+				}
+				if a.SensedHealth(x, y, n, 2, 2) != b.SensedHealth(x, y, n, 2, 2) {
+					t.Fatalf("SensedHealth diverged at (%d,%d,%d)", x, y, n)
+				}
+			}
+		}
+	}
+	for k := uint64(0); k < 200; k += 7 {
+		for att := 0; att < 4; att++ {
+			if a.SynthTimeout(k, att) != b.SynthTimeout(k, att) {
+				t.Fatalf("SynthTimeout diverged at (%d,%d)", k, att)
+			}
+		}
+		if a.CachePoison(k) != b.CachePoison(k) {
+			t.Fatalf("CachePoison diverged at key %d", k)
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	a := New(Mixed(1, 0.3, Actuation), 60, 30)
+	b := New(Mixed(2, 0.3, Actuation), 60, 30)
+	aOff, aOn := a.StuckCells()
+	bOff, bOn := b.StuckCells()
+	if aOff == bOff && aOn == bOn {
+		// Counts colliding exactly for both categories across different
+		// seeds is astronomically unlikely at these rates.
+		t.Errorf("seeds 1 and 2 produced identical stuck sets: off=%d on=%d", aOff, aOn)
+	}
+}
+
+func TestStuckRatesApproximate(t *testing.T) {
+	p := Plan{Seed: 7, StuckOff: 0.1, StuckOn: 0.05}
+	inj := New(p, 200, 200)
+	off, on := inj.StuckCells()
+	total := 200 * 200
+	if fo := float64(off) / float64(total); math.Abs(fo-0.1) > 0.02 {
+		t.Errorf("stuck-off fraction %v, want ~0.1", fo)
+	}
+	if fn := float64(on) / float64(total); math.Abs(fn-0.05) > 0.02 {
+		t.Errorf("stuck-on fraction %v, want ~0.05", fn)
+	}
+}
+
+func TestStuckActivationThreshold(t *testing.T) {
+	// Force every cell stuck-off with a tight activation window so the
+	// threshold semantics are observable.
+	p := Plan{Seed: 3, StuckOff: 1, StuckAfterLo: 20, StuckAfterHi: 20}
+	inj := New(p, 4, 4)
+	if off, on := inj.StuckCells(); off != 16 || on != 0 {
+		t.Fatalf("StuckCells = (%d,%d), want (16,0)", off, on)
+	}
+	if got := inj.PhysicalDegradation(2, 2, 19, 0.7); got != 0.7 {
+		t.Errorf("before threshold: degradation perturbed to %v", got)
+	}
+	if got := inj.PhysicalDegradation(2, 2, 20, 0.7); got != 0 {
+		t.Errorf("at threshold: degradation = %v, want 0 (stuck-off)", got)
+	}
+	// Stuck-off is sensed: health reads 0 once triggered.
+	if got := inj.SensedHealth(2, 2, 20, 3, 2); got != 0 {
+		t.Errorf("stuck-off sensed health = %d, want 0", got)
+	}
+	if got := inj.SensedHealth(2, 2, 19, 3, 2); got != 3 {
+		t.Errorf("pre-threshold sensed health = %d, want 3", got)
+	}
+}
+
+func TestStuckOnSemantics(t *testing.T) {
+	p := Plan{Seed: 3, StuckOn: 1, StuckAfterLo: 1, StuckAfterHi: 1}
+	inj := New(p, 2, 2)
+	if got := inj.PhysicalDegradation(1, 1, 5, 0.2); got != 1 {
+		t.Errorf("stuck-on degradation = %v, want 1", got)
+	}
+	if got := inj.SensedHealth(1, 1, 5, 1, 2); got != 3 {
+		t.Errorf("stuck-on sensed health = %d, want 3", got)
+	}
+}
+
+func TestTransientPhysicsOnly(t *testing.T) {
+	p := Plan{Seed: 11, Transient: 1}
+	inj := New(p, 8, 8)
+	if got := inj.PhysicalDegradation(3, 3, 10, 0.9); got != 0 {
+		t.Errorf("transient=1 degradation = %v, want 0", got)
+	}
+	// Transients never touch the sensed health.
+	if got := inj.SensedHealth(3, 3, 10, 2, 2); got != 2 {
+		t.Errorf("transient perturbed sensed health to %d", got)
+	}
+}
+
+func TestSensorFaultEpochStability(t *testing.T) {
+	p := Plan{Seed: 5, SensorFlip: 0.5, SensorStale: 0.2, SensorEpoch: 64}
+	inj := New(p, 16, 16)
+	// Within one epoch the misread is constant; readings may change only at
+	// epoch boundaries.
+	for y := 1; y <= 16; y++ {
+		for x := 1; x <= 16; x++ {
+			base := inj.SensedHealth(x, y, 0, 2, 2)
+			for n := 1; n < 64; n++ {
+				if got := inj.SensedHealth(x, y, n, 2, 2); got != base {
+					t.Fatalf("cell (%d,%d) reading changed mid-epoch at n=%d: %d -> %d", x, y, n, base, got)
+				}
+			}
+		}
+	}
+	// In-range always.
+	for n := 0; n < 1000; n += 13 {
+		for y := 1; y <= 16; y += 2 {
+			for x := 1; x <= 16; x += 2 {
+				h := inj.SensedHealth(x, y, n, 1, 2)
+				if h < 0 || h > 3 {
+					t.Fatalf("sensed health %d out of 2-bit range", h)
+				}
+			}
+		}
+	}
+}
+
+func TestSensorStalePinsHealthy(t *testing.T) {
+	p := Plan{Seed: 5, SensorStale: 1}
+	inj := New(p, 4, 4)
+	if got := inj.SensedHealth(2, 2, 0, 0, 2); got != 3 {
+		t.Errorf("stale=1 sensed health = %d, want 3 (pinned healthy)", got)
+	}
+}
+
+func TestControlPlaneRates(t *testing.T) {
+	inj := New(Plan{Seed: 9, SynthTimeout: 0.5, CachePoison: 0.5}, 1, 1)
+	timeouts, poisons := 0, 0
+	const n = 4000
+	for k := uint64(0); k < n; k++ {
+		if inj.SynthTimeout(k, 0) {
+			timeouts++
+		}
+		if inj.CachePoison(k) {
+			poisons++
+		}
+	}
+	if f := float64(timeouts) / n; math.Abs(f-0.5) > 0.05 {
+		t.Errorf("timeout fraction %v, want ~0.5", f)
+	}
+	if f := float64(poisons) / n; math.Abs(f-0.5) > 0.05 {
+		t.Errorf("poison fraction %v, want ~0.5", f)
+	}
+	// Attempts draw independently: with p=0.5 some key must time out on
+	// attempt 0 but not attempt 1.
+	varies := false
+	for k := uint64(0); k < 64 && !varies; k++ {
+		varies = inj.SynthTimeout(k, 0) != inj.SynthTimeout(k, 1)
+	}
+	if !varies {
+		t.Error("SynthTimeout identical across attempts for 64 keys")
+	}
+}
+
+func TestZeroRateInjectorIsTransparent(t *testing.T) {
+	inj := New(Plan{Seed: 1}, 8, 8)
+	for n := 0; n < 100; n += 9 {
+		if got := inj.PhysicalDegradation(4, 4, n, 0.33); got != 0.33 {
+			t.Fatalf("zero plan perturbed degradation: %v", got)
+		}
+		if got := inj.SensedHealth(4, 4, n, 2, 2); got != 2 {
+			t.Fatalf("zero plan perturbed health: %d", got)
+		}
+	}
+	if inj.SynthTimeout(1, 0) || inj.CachePoison(1) {
+		t.Error("zero plan injected control-plane fault")
+	}
+	if off, on := inj.StuckCells(); off != 0 || on != 0 {
+		t.Errorf("zero plan has stuck cells (%d,%d)", off, on)
+	}
+}
+
+func TestOutOfBoundsCells(t *testing.T) {
+	inj := New(Plan{Seed: 1, StuckOff: 1, StuckAfterLo: 1, StuckAfterHi: 1}, 4, 4)
+	// Out-of-bounds coordinates pass through untouched rather than panic.
+	if got := inj.PhysicalDegradation(0, 0, 100, 0.5); got != 0.5 {
+		t.Errorf("out-of-bounds degradation perturbed: %v", got)
+	}
+	if got := inj.PhysicalDegradation(5, 5, 100, 0.5); got != 0.5 {
+		t.Errorf("out-of-bounds degradation perturbed: %v", got)
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	inj := New(Plan{Seed: 1, StuckOff: 0.1}, 4, 4)
+	p := inj.Plan()
+	if p.StuckAfterLo != 10 || p.StuckAfterHi != 150 {
+		t.Errorf("StuckAfter defaults = [%d,%d], want [10,150]", p.StuckAfterLo, p.StuckAfterHi)
+	}
+	if p.SensorEpoch != 64 {
+		t.Errorf("SensorEpoch default = %d, want 64", p.SensorEpoch)
+	}
+}

@@ -43,6 +43,24 @@ func NewCacheKey(rj route.RJ, opt synth.Options, health uint64) CacheKey {
 	}
 }
 
+// Hash folds the key into 64 bits — the identity handed to a FaultInjector,
+// which must not depend on sched's internal key layout.
+func (k CacheKey) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, r := range []geom.Rect{k.Start, k.Goal, k.Hazard} {
+		word(uint64(uint32(r.XA))<<32 | uint64(uint32(r.YA)))
+		word(uint64(uint32(r.XB))<<32 | uint64(uint32(r.YB)))
+	}
+	word(k.Opts)
+	word(k.Health)
+	return h.Sum64()
+}
+
 // fingerprintOptions hashes the solver-relevant option fields. Workers and
 // Method are excluded: every solver configuration converges to the same
 // optimal values, so strategies are interchangeable across them.

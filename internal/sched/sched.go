@@ -6,6 +6,7 @@
 package sched
 
 import (
+	"errors"
 	"sync"
 
 	"meda/internal/baseline"
@@ -15,6 +16,41 @@ import (
 	"meda/internal/smg"
 	"meda/internal/synth"
 )
+
+// ErrInjectedTimeout is the error an injected control-plane fault surfaces
+// as: the synthesis "timed out" before producing a strategy. Callers treat
+// it like any other synthesis failure; the Fallback router retries and then
+// degrades.
+var ErrInjectedTimeout = errors.New("sched: injected synthesis timeout")
+
+// FaultInjector is the control-plane fault source consulted by the adaptive
+// router (implemented by internal/fault's Injector; sched declares the
+// interface locally to keep the dependency pointing into sched). Both
+// methods must be pure functions of their arguments — they are called from
+// the synchronous routing path and from background prefetch workers.
+type FaultInjector interface {
+	// SynthTimeout reports whether the attempt-th online synthesis for the
+	// keyed job should fail with ErrInjectedTimeout.
+	SynthTimeout(key uint64, attempt int) bool
+	// CachePoison reports whether a strategy store under the keyed cache
+	// line should be discarded (a poisoned line), forcing re-synthesis on
+	// the next request.
+	CachePoison(key uint64) bool
+}
+
+// FaultAware is implemented by routers that accept a control-plane fault
+// injector.
+type FaultAware interface {
+	SetFaultInjector(FaultInjector)
+}
+
+// DegradedRouter is implemented by routers that offer a cheaper, more
+// conservative routing mode for jobs the simulator has marked degraded
+// (repeated divergence between planned and observed droplet state). The
+// Fallback router serves these directly from its final-tier router.
+type DegradedRouter interface {
+	RouteDegraded(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synth.Policy, float64, error)
+}
 
 // Router produces a routing strategy for a job under the current biochip
 // condition, returning the policy and its predicted cost in cycles (+Inf
@@ -198,6 +234,58 @@ type Adaptive struct {
 	// prefetchSyntheses counts background syntheses; guarded by mu because
 	// pool workers increment it.
 	prefetchSyntheses int
+	// faults is the optional control-plane fault injector; attempts counts
+	// per-key synthesis attempts so injected timeouts draw independently per
+	// retry. Both guarded by mu.
+	faults   FaultInjector
+	attempts map[CacheKey]int
+}
+
+// SetFaultInjector implements FaultAware. Passing nil detaches.
+func (a *Adaptive) SetFaultInjector(f FaultInjector) {
+	a.mu.Lock()
+	a.faults = f
+	a.mu.Unlock()
+}
+
+func (a *Adaptive) injector() FaultInjector {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.faults
+}
+
+// injectTimeout consults the fault injector before an online synthesis for
+// key, returning ErrInjectedTimeout when the attempt should fail. Each call
+// advances the key's attempt counter, so a caller that retries draws a fresh
+// decision.
+func (a *Adaptive) injectTimeout(key CacheKey) error {
+	a.mu.Lock()
+	f := a.faults
+	if f == nil {
+		a.mu.Unlock()
+		return nil
+	}
+	if a.attempts == nil {
+		a.attempts = make(map[CacheKey]int)
+	}
+	attempt := a.attempts[key]
+	a.attempts[key] = attempt + 1
+	a.mu.Unlock()
+	if f.SynthTimeout(key.Hash(), attempt) {
+		telSynthTimeouts.Inc()
+		return ErrInjectedTimeout
+	}
+	return nil
+}
+
+// poisoned reports whether a strategy store under key should be discarded.
+func (a *Adaptive) poisoned(key CacheKey) bool {
+	f := a.injector()
+	if f != nil && f.CachePoison(key.Hash()) {
+		telCachePoisoned.Inc()
+		return true
+	}
+	return false
 }
 
 // NewAdaptive returns the adaptive router with the paper's default query
@@ -245,12 +333,16 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 			a.LibraryUses++
 			return p, v, nil
 		}
-		if done := a.pendingFor(NewCacheKey(rj, a.Opt, c.HealthHash(rj.Hazard))); done != nil {
+		key := NewCacheKey(rj, a.Opt, c.HealthHash(rj.Hazard))
+		if done := a.pendingFor(key); done != nil {
 			<-done
 			if p, v, ok := a.Lib.Lookup(rj); ok {
 				a.LibraryUses++
 				return p, v, nil
 			}
+		}
+		if err := a.injectTimeout(key); err != nil {
+			return nil, 0, err
 		}
 		res, err := synth.Synthesize(rj, func(x, y int) float64 { return 1 }, a.Opt)
 		if err != nil {
@@ -258,7 +350,7 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 		}
 		a.Syntheses++
 		telOnlineSyntheses.Inc()
-		if res.Exists() {
+		if res.Exists() && !a.poisoned(key) {
 			a.Lib.Store(rj, res.Policy, res.Value)
 		}
 		return res.Policy, res.Value, nil
@@ -276,16 +368,22 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 				return p, v, nil
 			}
 		}
+		if err := a.injectTimeout(key); err != nil {
+			return nil, 0, err
+		}
 		res, err := synth.Synthesize(rj, c.ObservedForceField(), a.Opt)
 		if err != nil {
 			return nil, 0, err
 		}
 		a.Syntheses++
 		telOnlineSyntheses.Inc()
-		if res.Exists() {
+		if res.Exists() && !a.poisoned(key) {
 			a.Cache.Store(key, res.Policy, res.Value)
 		}
 		return res.Policy, res.Value, nil
+	}
+	if err := a.injectTimeout(NewCacheKey(rj, a.Opt, c.HealthHash(rj.Hazard))); err != nil {
+		return nil, 0, err
 	}
 	opt := a.Opt
 	opt.Model.Blocked = obstacles
@@ -334,8 +432,10 @@ func (a *Adaptive) Prefetch(rj route.RJ, c *chip.Chip) bool {
 	}
 	done := make(chan struct{})
 	started := a.Pool.TryGo(func() {
+		// Prefetch syntheses are off the critical path and are not
+		// timeout-gated; a poisoned cache line still discards the result.
 		res, err := synth.Synthesize(rj, field, a.Opt)
-		if err == nil && res.Exists() {
+		if err == nil && res.Exists() && !a.poisoned(key) {
 			if healthy {
 				a.Lib.Store(rj, res.Policy, res.Value)
 			} else {

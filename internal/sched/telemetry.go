@@ -19,4 +19,13 @@ var (
 
 	telOnlineSyntheses   = telemetry.C("sched.synth.online")
 	telPrefetchSyntheses = telemetry.C("sched.synth.prefetch")
+
+	// Fault-injection effects observed by the scheduler (the injection
+	// decisions themselves are counted in internal/fault).
+	telSynthTimeouts  = telemetry.C("sched.fault.synth_timeouts")
+	telCachePoisoned  = telemetry.C("sched.fault.cache_poisoned")
+	telFallbackRetry  = telemetry.C("sched.fallback.retries")
+	telFallbackRecov  = telemetry.C("sched.fallback.recovered")
+	telFallbackFinal  = telemetry.C("sched.fallback.final")
+	telFallbackDegrad = telemetry.C("sched.fallback.degraded")
 )

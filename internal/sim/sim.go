@@ -26,6 +26,7 @@ import (
 	"meda/internal/action"
 	"meda/internal/assay"
 	"meda/internal/chip"
+	"meda/internal/fault"
 	"meda/internal/geom"
 	"meda/internal/randx"
 	"meda/internal/route"
@@ -60,6 +61,39 @@ type Config struct {
 	// healthiest activates first, deferring work in degraded regions for
 	// as long as the dependency graph allows.
 	WearAwareActivation bool
+	// Faults is the soft-fault injection plan (internal/fault): stuck and
+	// transiently failing microelectrodes, sensor misreads, and
+	// control-plane faults. The zero plan injects nothing.
+	Faults fault.Plan
+	// MODeadline is the per-operation cycle budget (activation → done);
+	// an operation that overruns it has its unfinished jobs degraded to
+	// the router's final tier. Zero disables deadlines.
+	MODeadline int
+	// DivergenceLimit is how many divergence observations (off-policy
+	// positions or physical no-move stalls) a job tolerates before the
+	// runner blacklists the failing region and re-routes; at twice the
+	// limit the job is degraded to the final-tier router. Zero disables
+	// divergence tracking.
+	DivergenceLimit int
+	// CheckHazards audits droplet state after every cycle's motion:
+	// droplets of different operations must never overlap and no droplet
+	// may leave the array. Violations are counted, not fatal.
+	CheckHazards bool
+}
+
+// WithFaults returns the configuration with a fault plan attached and the
+// graceful-degradation machinery (per-MO deadlines, divergence tracking,
+// hazard auditing) enabled at its defaults where unset.
+func (c Config) WithFaults(p fault.Plan) Config {
+	c.Faults = p
+	if c.MODeadline == 0 {
+		c.MODeadline = 350
+	}
+	if c.DivergenceLimit == 0 {
+		c.DivergenceLimit = 24
+	}
+	c.CheckHazards = true
+	return c
 }
 
 // RecoveryConfig enables roll-back error recovery: when a droplet makes no
@@ -108,6 +142,17 @@ type Execution struct {
 	// is enabled); RedoneOps counts the operations re-executed by them.
 	Rollbacks int
 	RedoneOps int
+	// Divergences counts escalations of the planned-vs-observed divergence
+	// detector (each escalation blacklists a suspect region and forces a
+	// re-route); DegradedJobs counts jobs demoted to the router's final
+	// tier, by divergence or MO deadline. Both stay 0 unless the
+	// corresponding Config knobs are enabled.
+	Divergences  int
+	DegradedJobs int
+	// HazardViolations counts post-motion audit failures (CheckHazards):
+	// droplets of different operations overlapping, or a droplet off the
+	// array. Always 0 in a correct execution.
+	HazardViolations int
 }
 
 // CycleHook observes each cycle's actuation patterns (used by the Fig. 3
@@ -130,8 +175,15 @@ type Runner struct {
 	// has learned to avoid within the current execution: wherever a
 	// droplet stalled before a rollback. Health-blind routers cannot
 	// sense dead microelectrodes, but they can remember where droplets
-	// died — the essence of retrial-with-rerouting recovery.
+	// died — the essence of retrial-with-rerouting recovery. The
+	// divergence detector feeds the same list: regions a droplet
+	// physically cannot enter are blacklisted whether or not the health
+	// sensor agrees.
 	inferredFaults []geom.Rect
+	// inj is the soft-fault injector built from Cfg.Faults on first
+	// Execute; it persists across executions (stuck cells, like wear, do
+	// not heal between bioassays).
+	inj *fault.Injector
 }
 
 // NewRunner assembles a simulation environment.
@@ -162,6 +214,11 @@ type jobRT struct {
 	done           bool
 	droplet        *dropletRT
 	routable       bool
+	// divergence counts planned-vs-observed mismatch observations since
+	// the droplet last moved on-policy; degraded marks the job as demoted
+	// to the router's final tier for the rest of the execution.
+	divergence int
+	degraded   bool
 }
 
 // dropletRT is a droplet on the chip.
@@ -207,6 +264,9 @@ type moRT struct {
 	// wedged operations cannot starve each other.
 	pendingSplit *dropletRT
 	splitWait    int
+	// degraded marks that the operation overran its per-MO deadline and
+	// its jobs were demoted to the final-tier router.
+	degraded bool
 }
 
 type outputKey struct{ mo, slot int }
@@ -238,6 +298,16 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 	if plan.W != r.Chip.W() || plan.H != r.Chip.H() {
 		return Execution{}, fmt.Errorf("sim: plan compiled for %d×%d but chip is %d×%d",
 			plan.W, plan.H, r.Chip.W(), r.Chip.H())
+	}
+	if r.Cfg.Faults.Enabled() && r.inj == nil {
+		if err := r.Cfg.Faults.Validate(); err != nil {
+			return Execution{}, err
+		}
+		r.inj = fault.New(r.Cfg.Faults, r.Chip.W(), r.Chip.H())
+		r.Chip.AttachFaults(r.inj)
+		if fa, ok := r.Router.(sched.FaultAware); ok {
+			fa.SetFaultInjector(r.inj)
+		}
 	}
 	prefetcher, _ := r.Router.(sched.Prefetcher)
 	if prefetcher != nil {
@@ -416,6 +486,28 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 			}
 		}
 
+		// 1d. Per-MO deadlines: an operation running far past activation is
+		// degraded — its unfinished jobs are demoted to the router's final
+		// tier, trading route quality for guaranteed progress.
+		if r.Cfg.MODeadline > 0 {
+			for _, m := range mos {
+				if m.state != moActive || m.degraded || k-m.activatedAt <= r.Cfg.MODeadline {
+					continue
+				}
+				m.degraded = true
+				telMODeadline.Inc()
+				for _, j := range m.jobs {
+					if j.done || j.degraded {
+						continue
+					}
+					j.degraded = true
+					j.obstacleDirty = true
+					exec.DegradedJobs++
+					telDegradedJobs.Inc()
+				}
+			}
+		}
+
 		// 2. Asynchronous re-synthesis (Alg. 3): refresh strategies whose
 		// region's health changed or that ran into an obstruction.
 		for _, m := range mos {
@@ -475,6 +567,7 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 				// probing for a way out as health/obstacles evolve.
 				exec.Stalls++
 				d.job.obstacleDirty = true
+				r.noteDivergence(d, &exec)
 				patterns = append(patterns, d.rect)
 				continue
 			}
@@ -533,8 +626,24 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 			if next != d.rect {
 				lastProgress = k
 				d.lastMove = k
+				if d.job != nil {
+					d.job.divergence = 0
+				}
+			} else {
+				// The chip was commanded to move the droplet and it stayed
+				// put — physical divergence from the plan (a stuck-off
+				// region produces exactly this signature).
+				r.noteDivergence(d, &exec)
 			}
 			d.rect = next
+		}
+
+		// 5b. Hazard audit: after this cycle's motion no droplet may sit
+		// off-array and no two droplets of different operations may
+		// overlap (accidental merging — the violation the 3-cell hazard
+		// margin exists to prevent).
+		if r.Cfg.CheckHazards {
+			exec.HazardViolations += r.auditHazards(droplets)
 		}
 
 		// 6. Completion checks: job arrivals, merges, holds, exits.
@@ -660,6 +769,63 @@ func (r *Runner) obstaclesFor(moID int, droplets []*dropletRT) []geom.Rect {
 	}
 	out = append(out, r.inferredFaults...)
 	return out
+}
+
+// noteDivergence records one planned-vs-observed mismatch for the droplet's
+// job. Every DivergenceLimit observations the runner escalates: the step the
+// plan keeps failing on is blacklisted (feeding obstaclesFor, like the
+// reactive-recovery retrial tier) and the job re-routes; at twice the limit
+// the job is degraded to the router's final tier — the bottom rung of the
+// graceful-degradation ladder.
+func (r *Runner) noteDivergence(d *dropletRT, exec *Execution) {
+	lim := r.Cfg.DivergenceLimit
+	j := d.job
+	if lim <= 0 || j == nil || j.done {
+		return
+	}
+	j.divergence++
+	if j.divergence%lim != 0 {
+		return
+	}
+	exec.Divergences++
+	telDivergences.Inc()
+	if a, ok := j.policy[d.rect]; ok {
+		// The plan keeps commanding this step and the droplet keeps not
+		// arriving: treat the target region as physically suspect whether
+		// or not the health sensor agrees (it may be lying).
+		r.inferFault(a.Apply(d.rect))
+	}
+	j.obstacleDirty = true
+	if j.divergence >= 2*lim && !j.degraded {
+		j.degraded = true
+		exec.DegradedJobs++
+		telDegradedJobs.Inc()
+	}
+}
+
+// auditHazards counts fluidic-safety violations in the current droplet
+// state: droplets (partially) off the array, and droplets of different
+// operations overlapping. Droplets of the same operation are exempt — mix
+// rendezvous intentionally brings them together.
+func (r *Runner) auditHazards(droplets []*dropletRT) int {
+	violations := 0
+	bounds := r.Chip.Bounds()
+	for i, d := range droplets {
+		if !bounds.ContainsRect(d.rect) {
+			violations++
+			telHazardViolate.Inc()
+		}
+		for _, q := range droplets[i+1:] {
+			if d.mo >= 0 && d.mo == q.mo {
+				continue
+			}
+			if d.rect.Overlaps(q.rect) {
+				violations++
+				telHazardViolate.Inc()
+			}
+		}
+	}
+	return violations
 }
 
 // inferFault records a suspected dead region, deduplicating; it reports
@@ -853,7 +1019,15 @@ func (r *Runner) fetch(j *jobRT, k int, droplets []*dropletRT, exec *Execution) 
 		rj.Start = j.droplet.rect
 		rj.Dispense = false
 	}
-	policy, _, err := r.Router.Route(rj, r.Chip, obstacles)
+	var policy synth.Policy
+	var err error
+	if dr, ok := r.Router.(sched.DegradedRouter); ok && j.degraded {
+		// A degraded job skips the primary router entirely: its model has
+		// repeatedly failed to predict this droplet's motion.
+		policy, _, err = dr.RouteDegraded(rj, r.Chip, obstacles)
+	} else {
+		policy, _, err = r.Router.Route(rj, r.Chip, obstacles)
+	}
 	j.hash = r.Chip.HealthHash(j.rj.Hazard)
 	j.nextTry = k + r.Cfg.MinResynthInterval
 	j.pending = false

@@ -20,4 +20,15 @@ var (
 
 	telExecCycles = telemetry.H("sim.cycles_per_execution", telemetry.CountBuckets...)
 	telMOCycles   = telemetry.H("sim.cycles_per_mo", telemetry.CountBuckets...)
+
+	// Graceful-degradation observations (fault-injection runs).
+	// sim.divergences counts planned-vs-observed divergence escalations,
+	// sim.degraded_jobs jobs demoted to the final-tier router,
+	// sim.mo_deadline_exceeded operations that overran their per-MO
+	// deadline, and sim.hazard_violations audit failures (droplets of
+	// different operations overlapping, or a droplet leaving the array).
+	telDivergences   = telemetry.C("sim.divergences")
+	telDegradedJobs  = telemetry.C("sim.degraded_jobs")
+	telMODeadline    = telemetry.C("sim.mo_deadline_exceeded")
+	telHazardViolate = telemetry.C("sim.hazard_violations")
 )

@@ -14,7 +14,7 @@
 // perturb the instrumented code, which the simulator's determinism
 // regression test relies on.
 //
-// The package is stdlib-only, like the rest of the module (DESIGN.md §10).
+// The package is stdlib-only, like the rest of the module (DESIGN.md §11).
 package telemetry
 
 import (

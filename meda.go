@@ -41,6 +41,7 @@ import (
 	"meda/internal/chip"
 	"meda/internal/degrade"
 	"meda/internal/dsl"
+	"meda/internal/fault"
 	"meda/internal/geom"
 	"meda/internal/plan"
 	"meda/internal/randx"
@@ -81,6 +82,12 @@ type (
 	DegradationParams = degrade.Params
 	// FaultPlan configures hard-fault injection (uniform or clustered).
 	FaultPlan = degrade.FaultPlan
+	// InjectionPlan configures soft-fault injection (internal/fault):
+	// stuck/transient microelectrodes, sensor misreads, and control-plane
+	// faults, all deterministic in the plan seed.
+	InjectionPlan = fault.Plan
+	// FaultKinds selects soft-fault classes for MixedFaultPlan.
+	FaultKinds = fault.Kinds
 )
 
 // Bioassays and routing jobs.
@@ -133,6 +140,11 @@ type (
 	TrialConfig = sim.TrialConfig
 	// TrialResult aggregates one trial.
 	TrialResult = sim.TrialResult
+	// FaultTrialConfig drives randomized fault-plan trials (cmd/medafuzz
+	// and the nightly CI sweep).
+	FaultTrialConfig = sim.FaultTrialConfig
+	// FaultTrialResult is the outcome of one (benchmark, trial) pair.
+	FaultTrialResult = sim.FaultTrialResult
 	// Source is a deterministic random stream.
 	Source = randx.Source
 )
@@ -158,6 +170,34 @@ const (
 	FaultUniform   = degrade.FaultUniform
 	FaultClustered = degrade.FaultClustered
 )
+
+// Soft-fault classes (InjectionPlan / MixedFaultPlan).
+const (
+	ActuationFaults = fault.Actuation
+	SensingFaults   = fault.Sensing
+	ControlFaults   = fault.Control
+	AllFaultKinds   = fault.AllKinds
+)
+
+// MixedFaultPlan spreads an overall soft-fault rate across the selected
+// fault classes (see fault.Mixed for the split). Attach it to a simulation
+// with SimConfig.WithFaults.
+func MixedFaultPlan(seed uint64, rate float64, kinds FaultKinds) InjectionPlan {
+	return fault.Mixed(seed, rate, kinds)
+}
+
+// ParseFaultKinds parses a comma list of soft-fault class names
+// (act/actuation, sense/sensing, ctl/control, all, none).
+func ParseFaultKinds(s string) (FaultKinds, error) { return fault.ParseKinds(s) }
+
+// NewFallbackRouter wraps a primary router in the graceful-degradation
+// ladder: primary (with bounded retries) → health-blind shortest-path
+// baseline. Under fault injection this is the recommended router — an
+// injected synthesis timeout or an unroutable health view degrades route
+// quality instead of wedging the assay.
+func NewFallbackRouter(primary Router) Router {
+	return sched.NewFallback(primary, sched.NewBaseline())
+}
 
 // NewSource returns a deterministic random stream for the given seed.
 func NewSource(seed uint64) *Source { return randx.New(seed) }
@@ -245,3 +285,16 @@ func RunTrial(cfg TrialConfig, bench Benchmark, mk func() Router) (TrialResult, 
 // DefaultTrialConfig mirrors Sec. VII: five executions on a fresh default
 // chip.
 func DefaultTrialConfig(seed uint64) TrialConfig { return sim.DefaultTrialConfig(seed) }
+
+// RunFaultTrials executes clean/faulted execution pairs across benchmarks
+// under randomized fault plans, checking hazard freedom and bounded
+// completion-time inflation.
+func RunFaultTrials(cfg FaultTrialConfig) ([]FaultTrialResult, error) {
+	return sim.RunFaultTrials(cfg)
+}
+
+// DefaultFaultTrialConfig is the nightly-CI fault-trial sweep configuration.
+func DefaultFaultTrialConfig() FaultTrialConfig { return sim.DefaultFaultTrialConfig() }
+
+// FaultTrialViolations counts failed trials in a result set.
+func FaultTrialViolations(results []FaultTrialResult) int { return sim.Violations(results) }
