@@ -48,6 +48,7 @@ cover:
 	  echo "$$1: coverage $$pct% (floor $$2%)"; \
 	}; \
 	check ./internal/telemetry/ 90; \
+	check ./internal/mdp/ 80; \
 	check ./internal/sched/ 80; \
 	check ./internal/synth/ 80; \
 	check ./internal/lint/ 80; \

@@ -1,9 +1,11 @@
 // Command benchdiff compares two medabench reports (BENCH_synthesis.json)
-// and gates on ns/op regressions: benchmarks slower than the warn threshold
-// are reported, and any benchmark slower than the fail threshold makes the
-// command exit nonzero. CI runs it against the committed baseline on every
-// pull request — warn-only inside the noise band of shared runners, hard
-// failure on step-change regressions.
+// and gates on ns/op and allocs/op regressions: benchmarks beyond the warn
+// threshold are reported, and any benchmark beyond the fail threshold makes
+// the command exit nonzero. CI runs it against the committed baseline on
+// every pull request — warn-only inside the noise band of shared runners,
+// hard failure on step-change regressions. Alloc gating additionally
+// requires the regression to add more than a handful of allocations per op,
+// so a fixed cost growing from 1 to 2 allocs does not trip the 2x gate.
 //
 //	benchdiff -base BENCH_synthesis.json -new /tmp/bench.json
 //	benchdiff -base BENCH_synthesis.json -new /tmp/bench.json -warn 0.25 -fail 2.0 -out diff.txt
@@ -50,8 +52,8 @@ func run(args []string, out, errw io.Writer) int {
 	fs.SetOutput(errw)
 	base := fs.String("base", "BENCH_synthesis.json", "baseline report (committed)")
 	next := fs.String("new", "", "candidate report to compare against the baseline")
-	warn := fs.Float64("warn", 0.25, "warn when ns/op regresses by more than this fraction")
-	fail := fs.Float64("fail", 2.0, "fail when ns/op regresses to more than this multiple of the baseline")
+	warn := fs.Float64("warn", 0.25, "warn when ns/op or allocs/op regresses by more than this fraction")
+	fail := fs.Float64("fail", 2.0, "fail when ns/op or allocs/op regresses to more than this multiple of the baseline")
 	outFile := fs.String("out", "", "also write the comparison to this file (CI artifact)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,9 +73,13 @@ func run(args []string, out, errw io.Writer) int {
 		return 2
 	}
 
-	baseline := make(map[string]float64, len(baseRep.Benchmarks))
+	type row struct {
+		ns     float64
+		allocs int64
+	}
+	baseline := make(map[string]row, len(baseRep.Benchmarks))
 	for _, b := range baseRep.Benchmarks {
-		baseline[b.Name] = b.NsPerOp
+		baseline[b.Name] = row{ns: b.NsPerOp, allocs: b.AllocsOp}
 	}
 
 	writers := []io.Writer{out}
@@ -89,37 +95,52 @@ func run(args []string, out, errw io.Writer) int {
 	w := io.MultiWriter(writers...)
 
 	names := make([]string, 0, len(newRep.Benchmarks))
-	ratios := make(map[string]float64, len(newRep.Benchmarks))
-	news := make(map[string]float64, len(newRep.Benchmarks))
+	news := make(map[string]row, len(newRep.Benchmarks))
 	for _, b := range newRep.Benchmarks {
 		names = append(names, b.Name)
-		news[b.Name] = b.NsPerOp
-		if old, ok := baseline[b.Name]; ok && old > 0 {
-			ratios[b.Name] = b.NsPerOp / old
-		}
+		news[b.Name] = row{ns: b.NsPerOp, allocs: b.AllocsOp}
 	}
 	sort.Strings(names)
 
+	// A fixed cost of a few allocations doubling is not a regression worth
+	// failing CI over; alloc ratios only gate when the absolute increase
+	// exceeds this slack.
+	const allocSlack = 8
+
 	warned, failed := 0, 0
-	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "ratio")
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "base ns/op", "new ns/op", "ratio", "base allocs", "new allocs", "ratio")
 	for _, name := range names {
-		ratio, ok := ratios[name]
-		if !ok {
-			fmt.Fprintf(w, "%-40s %14s %14.0f %8s  (no baseline)\n", name, "-", news[name], "-")
+		nb := news[name]
+		ob, ok := baseline[name]
+		if !ok || ob.ns <= 0 {
+			fmt.Fprintf(w, "%-40s %14s %14.0f %8s %12s %12d %8s  (no baseline)\n",
+				name, "-", nb.ns, "-", "-", nb.allocs, "-")
 			continue
 		}
+		nsRatio := nb.ns / ob.ns
+		allocRatio := 1.0
+		if ob.allocs > 0 {
+			allocRatio = float64(nb.allocs) / float64(ob.allocs)
+		} else if nb.allocs > allocSlack {
+			allocRatio = float64(nb.allocs) // 0 → n allocs: treat n as the ratio
+		}
+		allocDelta := nb.allocs - ob.allocs
 		status := ""
 		switch {
-		case ratio > *fail:
+		case nsRatio > *fail,
+			allocRatio > *fail && allocDelta > allocSlack:
 			status = "  FAIL"
 			failed++
-		case ratio > 1+*warn:
+		case nsRatio > 1+*warn,
+			allocRatio > 1+*warn && allocDelta > allocSlack:
 			status = "  WARN"
 			warned++
-		case ratio < 1/(1+*warn):
+		case nsRatio < 1/(1+*warn):
 			status = "  improved"
 		}
-		fmt.Fprintf(w, "%-40s %14.0f %14.0f %7.2fx%s\n", name, baseline[name], news[name], ratio, status)
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %7.2fx %12d %12d %7.2fx%s\n",
+			name, ob.ns, nb.ns, nsRatio, ob.allocs, nb.allocs, allocRatio, status)
 	}
 	for name := range baseline {
 		if _, ok := news[name]; !ok {
@@ -127,7 +148,7 @@ func run(args []string, out, errw io.Writer) int {
 			warned++
 		}
 	}
-	fmt.Fprintf(w, "\n%d benchmarks, %d warnings (> +%.0f%%), %d failures (> %.1fx)\n",
+	fmt.Fprintf(w, "\n%d benchmarks, %d warnings (> +%.0f%%), %d failures (> %.1fx ns/op or allocs/op)\n",
 		len(names), warned, *warn*100, failed, *fail)
 	if failed > 0 {
 		fmt.Fprintf(errw, "benchdiff: %d benchmark(s) regressed beyond %.1fx\n", failed, *fail)

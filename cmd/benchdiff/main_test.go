@@ -50,6 +50,27 @@ func TestTwoXRegressionExitsNonzero(t *testing.T) {
 	}
 }
 
+// TestAllocRegressionFails: allocs_per_op regressing past the fail multiple
+// (with real absolute growth) fails even when ns/op is flat, while a small
+// absolute bump on a tiny baseline (20 → 26 allocs, 1.3x) stays inside the
+// alloc slack and is not flagged.
+func TestAllocRegressionFails(t *testing.T) {
+	code, out, errw := runDiff(t,
+		"-base", "testdata/base.json", "-new", "testdata/allocregress.json")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s\nstdout:\n%s", code, errw, out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "10x10") && !strings.Contains(line, "FAIL"):
+			t.Errorf("2.6x alloc regression not marked FAIL: %s", line)
+		case strings.Contains(line, "gauss-seidel") &&
+			(strings.Contains(line, "FAIL") || strings.Contains(line, "WARN")):
+			t.Errorf("+6 allocs on a 20-alloc baseline should stay inside the slack: %s", line)
+		}
+	}
+}
+
 // TestFailThresholdAdjustable: the same fixture passes with a loose -fail.
 func TestFailThresholdAdjustable(t *testing.T) {
 	code, _, _ := runDiff(t,

@@ -4,9 +4,12 @@
 //	medabench -out BENCH_synthesis.json
 //
 // The suite covers the synthesis hot path of Table V (model construction +
-// value iteration), the sequential-vs-parallel solver comparison, and the
-// cold-vs-warm strategy cache for re-synthesis. Derived ratios
-// (parallel_speedup, warm_cache_speedup) are computed from the same runs.
+// value iteration), cold vs pooled-arena model construction, the solver
+// comparison (gauss-seidel, jacobi seq/par, prioritized), the cold-vs-warm
+// strategy cache for re-synthesis, and the D4-canonical cache serving a whole
+// symmetry class of jobs from one synthesis. Derived ratios
+// (parallel_speedup, warm_cache_speedup, pooled_construction_speedup,
+// canonicalization_hit_rate) are computed from the same runs.
 package main
 
 import (
@@ -102,8 +105,10 @@ func main() {
 		})
 	}
 
-	// Model construction in isolation (Table V's construction column).
-	record(rep, "model_construction/30x30", func(b *testing.B) {
+	// Model construction in isolation (Table V's construction column): cold
+	// (fresh allocations every build) vs pooled (one smg.Arena recycling its
+	// CSR slabs across builds).
+	construct := record(rep, "model_construction/30x30", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := smg.Induce(
 				meda.Rect{XA: 1, YA: 1, XB: 30, YB: 30},
@@ -114,6 +119,19 @@ func main() {
 			}
 		}
 	})
+	var arena smg.Arena
+	pooled := record(rep, "model_construction_pooled/30x30", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := arena.Induce(
+				meda.Rect{XA: 1, YA: 1, XB: 30, YB: 30},
+				meda.Rect{XA: 1, YA: 1, XB: 4, YB: 4},
+				meda.Rect{XA: 27, YA: 27, XB: 30, YB: 30},
+				worn, smg.DefaultModelOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Derived["pooled_construction_speedup"] = construct.NsPerOp / pooled.NsPerOp
 
 	// Solver comparison on one 30×30 model: Gauss-Seidel (sequential),
 	// Jacobi with one worker (sequential sweep), Jacobi with GOMAXPROCS
@@ -140,8 +158,10 @@ func main() {
 	j1 := record(rep, "solver/jacobi-seq", solve(mdp.SolveOptions{Method: mdp.Jacobi, Workers: 1}))
 	jp := record(rep, fmt.Sprintf("solver/jacobi-par%d", runtime.GOMAXPROCS(0)),
 		solve(mdp.SolveOptions{Method: mdp.Jacobi, Workers: 0}))
+	pr := record(rep, "solver/prioritized", solve(mdp.SolveOptions{Method: mdp.Prioritized}))
 	rep.Derived["parallel_speedup_vs_jacobi_seq"] = j1.NsPerOp / jp.NsPerOp
 	rep.Derived["parallel_speedup_vs_gauss_seidel"] = gs.NsPerOp / jp.NsPerOp
+	rep.Derived["prioritized_vs_gauss_seidel"] = gs.NsPerOp / pr.NsPerOp
 
 	// Re-synthesis: cold (synthesize every time) vs warm (health-keyed
 	// strategy cache hit). The chip region is degraded so the library fast
@@ -183,6 +203,71 @@ func main() {
 	})
 	rep.Derived["warm_cache_speedup"] = cold.NsPerOp / warm.NsPerOp
 
+	// Canonicalization: on a uniformly degraded region, every translated,
+	// mirrored, or transposed image of a job keys to one D4-canonical cache
+	// entry, so a single synthesis serves the whole symmetry class. The
+	// benchmark routes 40 distinct jobs (8 dihedral images × 5 positions)
+	// through one router and records the per-hit cost of serving a
+	// de-canonicalized policy; the derived hit rate is what fraction of those
+	// routes never touched the synthesizer.
+	ucfg := chip.Default()
+	ucfg.Normal = degrade.ParamRange{Tau1: 0.7, Tau2: 0.7, C1: 300, C2: 300}
+	uc, err := chip.New(ucfg, randx.New(11))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medabench: %v\n", err)
+		os.Exit(1)
+	}
+	whole := meda.Rect{XA: 1, YA: 1, XB: uc.W(), YB: uc.H()}
+	for i := 0; i < 3000; i++ {
+		uc.Actuate(whole)
+	}
+	top := 1<<uint(uc.HealthBits()) - 1
+	if code, uniform := uc.UniformHealth(whole); !uniform || code == top {
+		fmt.Fprintf(os.Stderr, "medabench: canonical benchmark needs a uniformly degraded chip (code %d, uniform %v)\n", code, uniform)
+		os.Exit(1)
+	}
+	base := meda.RoutingJob{
+		Start:  meda.Rect{XA: 1, YA: 1, XB: 3, YB: 3},
+		Goal:   meda.Rect{XA: 12, YA: 8, XB: 14, YB: 10},
+		Hazard: meda.Rect{XA: 1, YA: 1, XB: 14, YB: 10},
+	}
+	var jobs []meda.RoutingJob
+	for op := uint8(0); op < 8; op++ {
+		tf := synth.Transform{Op: op, X0: base.Hazard.XA, Y0: base.Hazard.YA,
+			W: base.Hazard.Width(), H: base.Hazard.Height()}
+		for _, d := range [][2]int{{0, 0}, {9, 3}, {21, 7}, {33, 12}, {44, 0}} {
+			j := meda.RoutingJob{
+				Start:  tf.Apply(base.Start).Translate(d[0], d[1]),
+				Goal:   tf.Apply(base.Goal).Translate(d[0], d[1]),
+				Hazard: tf.Apply(base.Hazard).Translate(d[0], d[1]),
+			}
+			if whole.ContainsRect(j.Hazard) {
+				jobs = append(jobs, j)
+			}
+		}
+	}
+	canonRouter := sched.NewAdaptive()
+	for _, j := range jobs { // one pass to measure the hit rate
+		if _, _, err := canonRouter.Route(j, uc, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "medabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	rep.Derived["canonicalization_hit_rate"] =
+		float64(canonRouter.CacheHits) / float64(canonRouter.CacheHits+canonRouter.Syntheses)
+	rep.Derived["canonicalization_jobs_per_synthesis"] =
+		float64(len(jobs)) / float64(canonRouter.Syntheses)
+	idx := 0
+	record(rep, "cache/canonical_hit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j := jobs[idx%len(jobs)]
+			idx++
+			if _, _, err := canonRouter.Route(j, uc, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	rep.Telemetry = telemetry.Default().Snapshot()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
@@ -193,5 +278,8 @@ func main() {
 	f.Close()
 	fmt.Printf("\nparallel speedup (jacobi seq → par): %.2fx\n", rep.Derived["parallel_speedup_vs_jacobi_seq"])
 	fmt.Printf("warm-cache speedup (cold → warm):    %.0fx\n", rep.Derived["warm_cache_speedup"])
+	fmt.Printf("pooled construction speedup:         %.2fx\n", rep.Derived["pooled_construction_speedup"])
+	fmt.Printf("canonicalization hit rate:           %.1f%% (%.0f jobs per synthesis)\n",
+		100*rep.Derived["canonicalization_hit_rate"], rep.Derived["canonicalization_jobs_per_synthesis"])
 	fmt.Printf("wrote %s\n", *out)
 }

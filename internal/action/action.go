@@ -371,20 +371,40 @@ type Outcome struct {
 	P       float64
 }
 
+// MaxOutcomes bounds the distribution size of any action (the ordinal
+// event space {vh, v, h, ε}), for sizing reusable outcome buffers.
+const MaxOutcomes = 4
+
+// doubleEvent and ordinalEvent precompute the concatenated event names
+// ("NN", "NE", ...) so the hot outcome enumeration never builds strings.
+var doubleEvent = [4]string{"NN", "SS", "EE", "WW"}
+var ordinalEvent = [4][4]string{
+	geom.North: {geom.East: "NE", geom.West: "NW"},
+	geom.South: {geom.East: "SE", geom.West: "SW"},
+}
+
 // Outcomes returns the full outcome distribution of executing action a on
 // droplet d under force field f, implementing the event probabilities of
 // Sec. V-B (cardinal, double-step — second step conditioned on the first —,
 // ordinal, and morph actions). The probabilities always sum to 1.
 func Outcomes(d geom.Rect, a Action, f ForceField) []Outcome {
+	return AppendOutcomes(nil, d, a, f)
+}
+
+// AppendOutcomes appends the outcome distribution of executing a on d under
+// f to dst and returns the extended slice. It is the allocation-free form of
+// Outcomes for hot loops (model induction): with a dst of sufficient
+// capacity it performs no heap allocation. At most 4 outcomes are appended.
+func AppendOutcomes(dst []Outcome, d geom.Rect, a Action, f ForceField) []Outcome {
 	switch a.Class() {
 	case Cardinal:
 		dir := a.cardinalDir()
 		fr, _ := Frontier(d, a, dir)
 		p := MeanForce(fr, f)
-		return []Outcome{
-			{Event: dir.String(), Droplet: a.Apply(d), P: p},
-			{Event: "ε", Droplet: d, P: 1 - p},
-		}
+		return append(dst,
+			Outcome{Event: dir.String(), Droplet: a.Apply(d), P: p},
+			Outcome{Event: "ε", Droplet: d, P: 1 - p},
+		)
 	case Double:
 		dir := a.cardinalDir()
 		single := singleStep(dir)
@@ -393,37 +413,42 @@ func Outcomes(d geom.Rect, a Action, f ForceField) []Outcome {
 		d1 := single.Apply(d)
 		fr2, _ := Frontier(d1, single, dir)
 		p2 := MeanForce(fr2, f)
-		return []Outcome{
-			{Event: dir.String() + dir.String(), Droplet: single.Apply(d1), P: p1 * p2},
-			{Event: dir.String(), Droplet: d1, P: p1 * (1 - p2)},
-			{Event: "ε", Droplet: d, P: 1 - p1},
-		}
+		return append(dst,
+			Outcome{Event: doubleEvent[dir], Droplet: single.Apply(d1), P: p1 * p2},
+			Outcome{Event: dir.String(), Droplet: d1, P: p1 * (1 - p2)},
+			Outcome{Event: "ε", Droplet: d, P: 1 - p1},
+		)
 	case Ordinal:
-		dirs := a.Dirs()
-		v, h := dirs[0], dirs[1]
+		i := a - MoveNE
+		v, h := suffixVert[i], suffixHorz[i]
 		frV, _ := Frontier(d, a, v)
 		frH, _ := Frontier(d, a, h)
 		pv := MeanForce(frV, f)
 		ph := MeanForce(frH, f)
 		dv := singleStep(v).Apply(d)
 		dh := singleStep(h).Apply(d)
-		return []Outcome{
-			{Event: v.String() + h.String(), Droplet: a.Apply(d), P: pv * ph},
-			{Event: v.String(), Droplet: dv, P: pv * (1 - ph)},
-			{Event: h.String(), Droplet: dh, P: (1 - pv) * ph},
-			{Event: "ε", Droplet: d, P: (1 - pv) * (1 - ph)},
-		}
+		return append(dst,
+			Outcome{Event: ordinalEvent[v][h], Droplet: a.Apply(d), P: pv * ph},
+			Outcome{Event: v.String(), Droplet: dv, P: pv * (1 - ph)},
+			Outcome{Event: h.String(), Droplet: dh, P: (1 - pv) * ph},
+			Outcome{Event: "ε", Droplet: d, P: (1 - pv) * (1 - ph)},
+		)
 	default: // Widen, Heighten
-		dir := a.Dirs()[0]
+		var dir geom.Dir
+		if a.Class() == Widen {
+			dir = suffixHorz[a-WidenNE]
+		} else {
+			dir = suffixVert[a-HeightenNE]
+		}
 		fr, ok := Frontier(d, a, dir)
 		p := 0.0
 		if ok {
 			p = MeanForce(fr, f)
 		}
-		return []Outcome{
-			{Event: "morph", Droplet: a.Apply(d), P: p},
-			{Event: "ε", Droplet: d, P: 1 - p},
-		}
+		return append(dst,
+			Outcome{Event: "morph", Droplet: a.Apply(d), P: p},
+			Outcome{Event: "ε", Droplet: d, P: 1 - p},
+		)
 	}
 }
 

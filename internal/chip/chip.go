@@ -331,6 +331,27 @@ func (c *Chip) HealthHash(region geom.Rect) uint64 {
 	return h.Sum64()
 }
 
+// UniformHealth reports whether every observed health code within region
+// (clipped to the chip) is the same, and if so which code. A uniform window
+// is the precondition for D4 strategy canonicalization: only over a
+// constant force field are a job and its rotated/reflected image guaranteed
+// equivalent. An empty region is vacuously uniform at full health.
+func (c *Chip) UniformHealth(region geom.Rect) (int, bool) {
+	r, ok := region.Intersect(c.Bounds())
+	if !ok {
+		return 1<<uint(c.bits) - 1, true
+	}
+	code := c.Health(r.XA, r.YA)
+	for y := r.YA; y <= r.YB; y++ {
+		for x := r.XA; x <= r.XB; x++ {
+			if c.Health(x, y) != code {
+				return 0, false
+			}
+		}
+	}
+	return code, true
+}
+
 // MinHealth returns the minimum observed health code within region (clipped
 // to the chip); returns 2^b−1 for an empty region.
 func (c *Chip) MinHealth(region geom.Rect) int {

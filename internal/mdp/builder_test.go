@@ -1,0 +1,133 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+)
+
+// buildVia constructs the same three-state model through either the
+// list-backed API or the Builder, so the two storage modes can be compared
+// like for like.
+func listModel() *MDP {
+	m := New()
+	m.AddStates(3)
+	m.AddChoice(0, 7, 1, []Transition{{To: 1, P: 0.5}, {To: 0, P: 0.5}})
+	m.AddChoice(0, 8, 2, []Transition{{To: 2, P: 1}})
+	m.AddChoice(1, 9, 1, []Transition{{To: 2, P: 1}})
+	m.AddChoice(2, -1, 0, []Transition{{To: 2, P: 1}})
+	return m
+}
+
+func builderModel(b *Builder) *MDP {
+	b.Reset()
+	b.AddStates(3)
+	b.BeginChoice(0, 7, 1)
+	b.Transition(1, 0.5)
+	b.Transition(0, 0.5)
+	b.BeginChoice(0, 8, 2)
+	b.Transition(2, 1)
+	b.BeginChoice(1, 9, 1)
+	b.Transition(2, 1)
+	b.BeginChoice(2, -1, 0)
+	b.Transition(2, 1)
+	return b.Build()
+}
+
+func TestBuilderMatchesListBacked(t *testing.T) {
+	lm := listModel()
+	var b Builder
+	bm := builderModel(&b)
+	if bm.NumStates() != lm.NumStates() || bm.NumChoices() != lm.NumChoices() ||
+		bm.NumTransitions() != lm.NumTransitions() {
+		t.Fatalf("size mismatch: %d/%d/%d vs %d/%d/%d",
+			bm.NumStates(), bm.NumChoices(), bm.NumTransitions(),
+			lm.NumStates(), lm.NumChoices(), lm.NumTransitions())
+	}
+	if err := bm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for s := StateID(0); int(s) < lm.NumStates(); s++ {
+		lc, bc := lm.Choices(s), bm.Choices(s)
+		if len(lc) != len(bc) {
+			t.Fatalf("state %d: %d vs %d choices", s, len(lc), len(bc))
+		}
+		for i := range lc {
+			if lc[i].Action != bc[i].Action || lc[i].Reward != bc[i].Reward ||
+				len(lc[i].Transitions) != len(bc[i].Transitions) {
+				t.Fatalf("state %d choice %d differs: %+v vs %+v", s, i, lc[i], bc[i])
+			}
+		}
+	}
+	target := []bool{false, false, true}
+	rl, err := lm.MinExpectedReward(target, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := bm.MinExpectedReward(target, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range rl.Values {
+		if math.Abs(rl.Values[s]-rb.Values[s]) > 1e-9 {
+			t.Fatalf("state %d: %v (list) vs %v (builder)", s, rl.Values[s], rb.Values[s])
+		}
+	}
+}
+
+// TestBuilderResetRecycles rebuilds through the same Builder and checks the
+// second build is correct and allocation-free once the slabs are warm.
+func TestBuilderResetRecycles(t *testing.T) {
+	var b Builder
+	builderModel(&b)
+	allocs := testing.AllocsPerRun(10, func() {
+		m := builderModel(&b)
+		if m.NumStates() != 3 {
+			t.Fatal("rebuild lost states")
+		}
+	})
+	// One allocation per build is the *MDP header itself.
+	if allocs > 2 {
+		t.Fatalf("warm rebuild allocates %v times per run; want ≤ 2", allocs)
+	}
+	// Solving after a rebuild must still work (scratch slabs recycled too).
+	m := builderModel(&b)
+	r, err := m.MinExpectedReward([]bool{false, false, true}, nil, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(r.Values[0], 1) {
+		t.Fatal("value at state 0 must be finite")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	var b Builder
+	b.Reset()
+	b.AddStates(2)
+	b.BeginChoice(1, 0, 0)
+	b.Transition(0, 1)
+	expectPanic("out-of-order state", func() { b.BeginChoice(0, 0, 0) })
+
+	var b2 Builder
+	b2.Reset()
+	b2.AddStates(1)
+	b2.BeginChoice(0, 0, 0)
+	b2.Transition(0, 1)
+	m := b2.Build()
+	expectPanic("mutate built model", func() { m.AddState() })
+	expectPanic("double build", func() { b2.Build() })
+	expectPanic("choice after build", func() { b2.BeginChoice(0, 0, 0) })
+
+	var b3 Builder
+	b3.Reset()
+	expectPanic("unreserved state", func() { b3.BeginChoice(5, 0, 0) })
+}

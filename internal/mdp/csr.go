@@ -12,7 +12,9 @@
 // chunk-parallel Jacobi sweeps: states are split into contiguous chunks and
 // updated by a sync.WaitGroup worker pool sized by GOMAXPROCS. Jacobi reads
 // only the previous iterate, so the parallel result is bit-identical to the
-// sequential one; Gauss-Seidel remains the sequential option.
+// sequential one; Gauss-Seidel remains the sequential option, alternating
+// sweep direction each iteration so value information propagates end to end
+// regardless of how state ids are ordered relative to the goal.
 package mdp
 
 import (
@@ -37,15 +39,69 @@ type csr struct {
 	// Reverse-edge index over positive-probability transitions, built lazily
 	// by reverseIndex(): revChoice lists the (global) choice ids with an
 	// incoming edge to state t in [revOff[t], revOff[t+1]); choiceState maps
-	// a global choice id back to its owning state.
+	// a global choice id back to its owning state. revBuilt gates the lazy
+	// build so Builder.Reset can recycle the slabs in place.
+	revBuilt    bool
 	revOff      []int32
 	revChoice   []int32
 	choiceState []int32
+
+	// Per-choice self-loop factor 1/(1-q) for the self-loop-eliminated
+	// backups (0 marks a pure self-loop choice, which those backups skip),
+	// built lazily by selfLoopInv(). Like the reverse index it depends only
+	// on the model structure, so it is built once and recycled by
+	// Builder.Reset.
+	slBuilt bool
+	slInv   []float64
+
+	// Solver scratch, grown in place and reused across solves so a
+	// Builder-recycled model pays no per-solve allocations for it. The
+	// slabs are private to one solve at a time: models sharing a csr
+	// (Builder-built ones) must not be solved concurrently.
+	scrDst    []float64 // jacobi ping-pong buffer
+	scrFrozen []bool
+	scrInU    []bool  // prob1E: candidate set U
+	scrInR    []bool  // prob1E: reach closure R
+	scrBad    []int32 // prob1E: per-choice leave-U counts
+	scrQueue  []int32 // worklist shared by prob1E and strategy extraction
+	scrMark   []int32 // reverseIndex: per-state dedup marks
+	scrPri    []float64
+	scrHeap   []int32
+	scrHPos   []int32
 }
 
-// flatten packs the MDP into CSR form. Called once per Solve; the builder
-// slices stay authoritative for Choices()/export.
+// growF, growB and growI resize a scratch slab to n elements, reusing the
+// backing array when it is large enough. Contents are unspecified; callers
+// initialize what they read.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growI(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// flatten packs the MDP into CSR form. Builder-built models are already
+// flat and return their (scratch-carrying) csr directly; list-backed models
+// pack fresh per call, so the builder slices stay authoritative for
+// Choices()/export and concurrent solves never share scratch.
 func (m *MDP) flatten() *csr {
+	if m.flat != nil {
+		return m.flat
+	}
 	n := len(m.choices)
 	nc := m.NumChoices()
 	g := &csr{
@@ -81,11 +137,11 @@ func (m *MDP) flatten() *csr {
 // probability edges only, deduplicated per choice) plus the choice → state
 // map. Idempotent.
 func (g *csr) reverseIndex() {
-	if g.revOff != nil {
+	if g.revBuilt {
 		return
 	}
 	nc := len(g.actions)
-	g.choiceState = make([]int32, nc)
+	g.choiceState = growI(g.choiceState, nc)
 	for s := 0; s < g.n; s++ {
 		for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
 			g.choiceState[ci] = int32(s)
@@ -94,8 +150,12 @@ func (g *csr) reverseIndex() {
 	// Counting pass. A choice may have several transitions into the same
 	// successor; deduplicate so the worklist visits each (choice, succ)
 	// pair once.
-	counts := make([]int32, g.n+1)
-	mark := make([]int32, g.n) // last choice that counted an edge into t
+	counts := growI(g.revOff, g.n+1)
+	for i := range counts {
+		counts[i] = 0
+	}
+	mark := growI(g.scrMark, g.n) // last choice that counted an edge into t
+	g.scrMark = mark
 	for i := range mark {
 		mark[i] = -1
 	}
@@ -116,8 +176,11 @@ func (g *csr) reverseIndex() {
 		counts[t+1] += counts[t]
 	}
 	g.revOff = counts
-	g.revChoice = make([]int32, counts[g.n])
-	next := make([]int32, g.n)
+	g.revChoice = growI(g.revChoice, int(counts[g.n]))
+	// Reuse the mark slab as the per-state write cursor; a second scratch
+	// tracks the dedup marks for the fill pass.
+	next := growI(g.scrQueue, g.n)
+	g.scrQueue = next
 	copy(next, counts[:g.n])
 	for i := range mark {
 		mark[i] = -1
@@ -136,15 +199,18 @@ func (g *csr) reverseIndex() {
 			next[t]++
 		}
 	}
+	g.revBuilt = true
 }
 
 // bellmanMax is max_c Σ_t P·src[t] over the choices of s (0 with none).
+// Slab fields are hoisted into locals to keep the inner loops tight.
 func (g *csr) bellmanMax(s int, src []float64) float64 {
+	choiceOff, tos, probs := g.choiceOff, g.tos, g.probs
 	best := 0.0
 	for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
 		v := 0.0
-		for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
-			v += g.probs[ti] * src[g.tos[ti]]
+		for ti := choiceOff[ci]; ti < choiceOff[ci+1]; ti++ {
+			v += probs[ti] * src[tos[ti]]
 		}
 		if v > best {
 			best = v
@@ -155,16 +221,126 @@ func (g *csr) bellmanMax(s int, src []float64) float64 {
 
 // bellmanMin is min_c (reward_c + Σ_t P·src[t]) over the choices of s
 // (+Inf with none). Zero-probability transitions are skipped so 0·Inf does
-// not poison finite values.
+// not poison finite values. The slab fields are hoisted into locals so the
+// inner loops stay free of repeated pointer loads.
 func (g *csr) bellmanMin(s int, src []float64) float64 {
+	choiceOff, tos, probs := g.choiceOff, g.tos, g.probs
 	best := math.Inf(1)
 	for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
 		v := g.rewards[ci]
-		for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
-			if p := g.probs[ti]; p > 0 {
-				v += p * src[g.tos[ti]]
+		for ti := choiceOff[ci]; ti < choiceOff[ci+1]; ti++ {
+			if p := probs[ti]; p > 0 {
+				v += p * src[tos[ti]]
 			}
 		}
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// bellmanMaxSL and bellmanMinSL are the self-loop-eliminated Bellman
+// backups used by every reachability/reward solve. Every microfluidic
+// action has an ε outcome that leaves the droplet in place, so every
+// routing-model choice carries a self-loop; plain value iteration squeezes
+// value through those loops a geometric sliver per sweep, which is what the
+// hundreds of convergence sweeps in the solver telemetry were spent on.
+// Folding the loop into the backup — v = (r + Σ_{t≠s} p·v_t)/(1−q) with q
+// the choice's self-loop mass — solves each choice's one-state fixpoint in
+// closed form. This is value iteration on the standard self-loop-removed
+// transformation of the MDP (probabilities and reward rescaled by 1/(1−q)),
+// which has the same fixpoint and optimal strategies; at the fixpoint a
+// plain one-step choice value equals the state value exactly, so strategy
+// extraction over the original model is unaffected. The 1/(1−q) factors are
+// a static model property and are precomputed once by selfLoopInv().
+
+// selfLoopInv builds the per-choice 1/(1-q) slab, with q the choice's
+// self-loop probability mass; choices with q ≈ 1 (pure self-loops) get 0 as
+// a skip marker. Idempotent.
+func (g *csr) selfLoopInv() {
+	if g.slBuilt {
+		return
+	}
+	nc := len(g.actions)
+	inv := growF(g.slInv, nc)
+	for ci := 0; ci < nc; ci++ {
+		q := 0.0
+		s := g.choiceStateOf(ci)
+		for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+			if g.probs[ti] > 0 && int(g.tos[ti]) == s {
+				q += g.probs[ti]
+			}
+		}
+		switch {
+		case q >= 1-1e-12:
+			inv[ci] = 0
+		case q > 0:
+			inv[ci] = 1 / (1 - q)
+		default:
+			inv[ci] = 1
+		}
+	}
+	g.slInv = inv
+	g.slBuilt = true
+}
+
+// choiceStateOf maps a global choice id to its owning state without
+// requiring the reverse index (binary search over stateOff).
+func (g *csr) choiceStateOf(ci int) int {
+	if g.revBuilt {
+		return int(g.choiceState[ci])
+	}
+	lo, hi := 0, g.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(g.stateOff[mid+1]) <= ci {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// bellmanMaxSL is bellmanMax with self-loop elimination. A pure self-loop
+// choice (slInv 0) is skipped: it can only ever yield the state's current
+// value, which a from-below iterate never exceeds.
+func (g *csr) bellmanMaxSL(s int, src []float64) float64 {
+	choiceOff, tos, probs, inv := g.choiceOff, g.tos, g.probs, g.slInv
+	best := 0.0
+	for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
+		v := 0.0
+		for ti := choiceOff[ci]; ti < choiceOff[ci+1]; ti++ {
+			if int(tos[ti]) != s {
+				v += probs[ti] * src[tos[ti]]
+			}
+		}
+		v *= inv[ci]
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// bellmanMinSL is bellmanMin with self-loop elimination. A pure self-loop
+// choice never reaches the target, so its expected reward is +Inf and it is
+// skipped (slInv 0 would otherwise yield a spuriously cheap 0).
+func (g *csr) bellmanMinSL(s int, src []float64) float64 {
+	choiceOff, tos, probs, inv := g.choiceOff, g.tos, g.probs, g.slInv
+	best := math.Inf(1)
+	for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
+		if inv[ci] == 0 {
+			continue
+		}
+		v := g.rewards[ci]
+		for ti := choiceOff[ci]; ti < choiceOff[ci+1]; ti++ {
+			if p := probs[ti]; p > 0 && int(tos[ti]) != s {
+				v += p * src[tos[ti]]
+			}
+		}
+		v *= inv[ci]
 		if v < best {
 			best = v
 		}
@@ -257,9 +433,9 @@ func (g *csr) jacobiSweep(frozen []bool, src, dst []float64, workers int,
 // converged values are in vals and the iteration count is returned; on
 // exhaustion it returns a *ConvergenceError naming the worst state. Sweep
 // counts and the final residual feed the solver telemetry.
-func (g *csr) iterate(vals []float64, frozen []bool, opt SolveOptions,
+func (g *csr) iterate(vals []float64, frozen []bool, opt SolveOptions, sign float64,
 	bellman func(s int, src []float64) float64) (int, error) {
-	iters, delta, err := g.iterateRaw(vals, frozen, opt, bellman)
+	iters, delta, err := g.iterateRaw(vals, frozen, opt, sign, bellman)
 	telSolves.Inc()
 	telSweeps.Add(int64(iters))
 	telSweepsPerSolve.Observe(float64(iters))
@@ -268,13 +444,19 @@ func (g *csr) iterate(vals []float64, frozen []bool, opt SolveOptions,
 }
 
 // iterateRaw is iterate without telemetry, additionally reporting the final
-// max-norm residual.
-func (g *csr) iterateRaw(vals []float64, frozen []bool, opt SolveOptions,
+// max-norm residual. sign orients the prioritized solver's processing order
+// (+1 for maximizing objectives, -1 for minimizing); the sweep solvers
+// ignore it.
+func (g *csr) iterateRaw(vals []float64, frozen []bool, opt SolveOptions, sign float64,
 	bellman func(s int, src []float64) float64) (int, float64, error) {
+	if opt.Method == Prioritized {
+		return g.prioritizedIterate(vals, frozen, opt, sign, bellman)
+	}
 	if opt.Method == Jacobi {
 		workers := sweepWorkers(opt, g.n)
 		src := vals
-		dst := make([]float64, g.n)
+		dst := growF(g.scrDst, g.n)
+		g.scrDst = dst
 		for iters := 0; iters < opt.MaxIter; iters++ {
 			delta, worst := g.jacobiSweep(frozen, src, dst, workers, bellman)
 			src, dst = dst, src
@@ -293,20 +475,34 @@ func (g *csr) iterateRaw(vals []float64, frozen []bool, opt SolveOptions,
 		}
 		return 0, math.Inf(1), g.convergenceError(-1, math.Inf(1), opt.MaxIter)
 	}
-	// Gauss-Seidel: sequential in-place sweeps.
+	// Gauss-Seidel: sequential in-place sweeps, alternating direction.
 	for iters := 0; iters < opt.MaxIter; iters++ {
 		delta := 0.0
 		worst := -1
-		for s := 0; s < g.n; s++ {
-			if frozen[s] {
-				continue
+		if iters%2 == 1 {
+			for s := g.n - 1; s >= 0; s-- {
+				if frozen[s] {
+					continue
+				}
+				v := bellman(s, vals)
+				if d := math.Abs(v - vals[s]); d > delta {
+					delta = d
+					worst = s
+				}
+				vals[s] = v
 			}
-			v := bellman(s, vals)
-			if d := math.Abs(v - vals[s]); d > delta {
-				delta = d
-				worst = s
+		} else {
+			for s := 0; s < g.n; s++ {
+				if frozen[s] {
+					continue
+				}
+				v := bellman(s, vals)
+				if d := math.Abs(v - vals[s]); d > delta {
+					delta = d
+					worst = s
+				}
+				vals[s] = v
 			}
-			vals[s] = v
 		}
 		if delta < opt.Eps {
 			return iters + 1, delta, nil
@@ -336,6 +532,10 @@ func (g *csr) convergenceError(worst int, delta float64, iters int) error {
 // one scan of the transitions (to refresh per-choice leave-U counts) plus
 // work proportional to the edges actually propagated, instead of repeated
 // full forward sweeps.
+//
+// The returned slice is solver scratch owned by g: it is valid until the
+// next solve (or prob1E call) on the same model. MDP.Prob1E copies it for
+// external callers.
 func (g *csr) prob1E(target, avoid []bool) []bool {
 	t0 := time.Now()
 	defer func() {
@@ -344,13 +544,17 @@ func (g *csr) prob1E(target, avoid []bool) []bool {
 	}()
 	g.reverseIndex()
 	nc := len(g.actions)
-	inU := make([]bool, g.n)
+	inU := growB(g.scrInU, g.n)
+	g.scrInU = inU
 	for s := 0; s < g.n; s++ {
 		inU[s] = avoid == nil || !avoid[s]
 	}
-	inR := make([]bool, g.n)
-	bad := make([]int32, nc) // per choice: #positive transitions leaving U
-	queue := make([]int32, 0, g.n)
+	inR := growB(g.scrInR, g.n)
+	g.scrInR = inR
+	bad := growI(g.scrBad, nc) // per choice: #positive transitions leaving U
+	g.scrBad = bad
+	queue := growI(g.scrQueue, g.n)[:0]
+	g.scrQueue = queue
 	for {
 		for ci := range bad {
 			bad[ci] = 0

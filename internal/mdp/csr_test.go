@@ -226,6 +226,52 @@ func TestJacobiWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// TestSweepWorkersLowParallelismFallback pins the clamp that keeps parallel
+// Jacobi from fanning tiny models out to idle goroutines: every worker must
+// get at least minChunk (512) states, so small models always fall back to a
+// single sequential sweep no matter how many workers were requested, and the
+// worker count never exceeds ceil(n/512).
+func TestSweepWorkersLowParallelismFallback(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{8, 100, 1},    // model smaller than one chunk: sequential
+		{64, 511, 1},   // just under one chunk: still sequential
+		{64, 512, 1},   // exactly one chunk
+		{64, 513, 2},   // two chunks at most
+		{64, 1300, 3},  // ceil(1300/512)
+		{2, 100000, 2}, // explicit request below the clamp is honored
+		{1, 100000, 1}, // explicit sequential
+		{8, 0, 1},      // empty model: degenerate but must not return 0
+		{-3, 512, 1},   // negative → GOMAXPROCS, then clamped to one chunk
+	}
+	for _, c := range cases {
+		if got := sweepWorkers(SolveOptions{Workers: c.workers}, c.n); got != c.want {
+			t.Errorf("sweepWorkers(workers=%d, n=%d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+	// The fallback must be behavior-preserving, not just a count: a model
+	// under one chunk solved with a large worker request matches the
+	// explicitly sequential solve exactly.
+	m, target, avoid := randomLabeledMDP(120, randx.New(31))
+	many, err := m.MinExpectedReward(target, avoid, SolveOptions{Method: Jacobi, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := m.MinExpectedReward(target, avoid, SolveOptions{Method: Jacobi, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Iterations != one.Iterations {
+		t.Fatalf("worker fan-out changed iteration count: %d vs %d", many.Iterations, one.Iterations)
+	}
+	for s := range many.Values {
+		if many.Values[s] != one.Values[s] && !(math.IsInf(many.Values[s], 1) && math.IsInf(one.Values[s], 1)) {
+			t.Fatalf("state %d: %v with 64 workers vs %v with 1", s, many.Values[s], one.Values[s])
+		}
+	}
+}
+
 // TestConvergenceErrorDetail: an exhausted iteration must name the offending
 // state and still match errors.Is(…, ErrNoConvergence).
 func TestConvergenceErrorDetail(t *testing.T) {

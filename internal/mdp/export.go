@@ -24,10 +24,12 @@ func (m *MDP) WriteTra(w io.Writer) error {
 	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.NumStates(), m.NumChoices(), m.NumTransitions()); err != nil {
 		return err
 	}
-	for s := range m.choices {
-		for ci, c := range m.choices[s] {
-			for _, tr := range c.Transitions {
-				if _, err := fmt.Fprintf(bw, "%d %d %d %g a%d\n", s, ci, tr.To, tr.P, c.Action); err != nil {
+	g := m.flatten()
+	for s := 0; s < g.n; s++ {
+		for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
+			for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+				if _, err := fmt.Fprintf(bw, "%d %d %d %g a%d\n",
+					s, ci-g.stateOff[s], g.tos[ti], g.probs[ti], g.actions[ci]); err != nil {
 					return err
 				}
 			}
@@ -44,10 +46,12 @@ func (m *MDP) WriteTrew(w io.Writer) error {
 	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.NumStates(), m.NumChoices(), m.NumTransitions()); err != nil {
 		return err
 	}
-	for s := range m.choices {
-		for ci, c := range m.choices[s] {
-			for _, tr := range c.Transitions {
-				if _, err := fmt.Fprintf(bw, "%d %d %d %g\n", s, ci, tr.To, c.Reward); err != nil {
+	g := m.flatten()
+	for s := 0; s < g.n; s++ {
+		for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
+			for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+				if _, err := fmt.Fprintf(bw, "%d %d %d %g\n",
+					s, ci-g.stateOff[s], g.tos[ti], g.rewards[ci]); err != nil {
 					return err
 				}
 			}

@@ -42,6 +42,7 @@ func (m *MDP) IntervalMaxReachProb(target, avoid []bool, opt SolveOptions) (Inte
 		return IntervalResult{}, errors.New("mdp: label vector length mismatch")
 	}
 	blocked := func(s int) bool { return avoid != nil && avoid[s] }
+	g := m.flatten()
 
 	// canReach: states with some path to a target state avoiding `avoid`.
 	canReach := make([]bool, n)
@@ -54,16 +55,14 @@ func (m *MDP) IntervalMaxReachProb(target, avoid []bool, opt SolveOptions) (Inte
 			if canReach[s] || blocked(s) {
 				continue
 			}
-			for _, c := range m.choices[s] {
-				for _, tr := range c.Transitions {
-					if tr.P > 0 && canReach[tr.To] {
+		scan:
+			for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
+				for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+					if g.probs[ti] > 0 && canReach[g.tos[ti]] {
 						canReach[s] = true
 						changed = true
-						break
+						break scan
 					}
-				}
-				if canReach[s] {
-					break
 				}
 			}
 		}
@@ -82,7 +81,7 @@ func (m *MDP) IntervalMaxReachProb(target, avoid []bool, opt SolveOptions) (Inte
 		}
 	}
 	frozen := func(s int) bool {
-		return (target[s] && !blocked(s)) || !canReach[s] || len(m.choices[s]) == 0
+		return (target[s] && !blocked(s)) || !canReach[s] || g.stateOff[s] == g.stateOff[s+1]
 	}
 	iters := 0
 	for ; iters < opt.MaxIter; iters++ {
@@ -92,13 +91,13 @@ func (m *MDP) IntervalMaxReachProb(target, avoid []bool, opt SolveOptions) (Inte
 				continue
 			}
 			bestLo, bestHi := 0.0, 0.0
-			for _, c := range m.choices[s] {
+			for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
 				vLo, vHi := 0.0, 0.0
 				pure := true
-				for _, tr := range c.Transitions {
-					vLo += tr.P * lo[tr.To]
-					vHi += tr.P * hi[tr.To]
-					if tr.P > 0 && tr.To != StateID(s) {
+				for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+					vLo += g.probs[ti] * lo[g.tos[ti]]
+					vHi += g.probs[ti] * hi[g.tos[ti]]
+					if g.probs[ti] > 0 && int(g.tos[ti]) != s {
 						pure = false
 					}
 				}

@@ -42,10 +42,16 @@ type Choice struct {
 }
 
 // MDP is an explicit-state Markov decision process under construction or
-// analysis. The zero value is an empty MDP ready for AddState.
+// analysis. The zero value is an empty MDP ready for AddState. Models come
+// in two storage modes: the classic AddState/AddChoice API grows a
+// list-backed graph, while Builder.Build returns a model backed directly by
+// the builder's CSR slabs (flat != nil). Flat models are immutable and share
+// solver scratch with their Builder, so they must not be solved
+// concurrently; list-backed models flatten fresh per solve and may be.
 type MDP struct {
 	choices [][]Choice
 	numTr   int
+	flat    *csr // set for Builder-built models; nil for list-backed ones
 }
 
 // New returns an empty MDP.
@@ -53,12 +59,14 @@ func New() *MDP { return &MDP{} }
 
 // AddState appends a fresh state and returns its id.
 func (m *MDP) AddState() StateID {
+	m.mutable()
 	m.choices = append(m.choices, nil)
 	return StateID(len(m.choices) - 1)
 }
 
 // AddStates appends n fresh states and returns the id of the first.
 func (m *MDP) AddStates(n int) StateID {
+	m.mutable()
 	first := StateID(len(m.choices))
 	for i := 0; i < n; i++ {
 		m.choices = append(m.choices, nil)
@@ -69,16 +77,31 @@ func (m *MDP) AddStates(n int) StateID {
 // AddChoice attaches a choice to a state. Transition probabilities are the
 // caller's responsibility until Validate is called.
 func (m *MDP) AddChoice(s StateID, action int, reward float64, trs []Transition) {
+	m.mutable()
 	m.choices[s] = append(m.choices[s], Choice{Action: action, Reward: reward, Transitions: trs})
 	m.numTr += len(trs)
 }
 
+func (m *MDP) mutable() {
+	if m.flat != nil {
+		panic("mdp: cannot mutate a Builder-built model; use Builder.Reset and rebuild")
+	}
+}
+
 // NumStates returns |S|.
-func (m *MDP) NumStates() int { return len(m.choices) }
+func (m *MDP) NumStates() int {
+	if m.flat != nil {
+		return m.flat.n
+	}
+	return len(m.choices)
+}
 
 // NumChoices returns the total number of state-action choices, the quantity
 // PRISM reports as "choices".
 func (m *MDP) NumChoices() int {
+	if m.flat != nil {
+		return len(m.flat.actions)
+	}
 	n := 0
 	for _, cs := range m.choices {
 		n += len(cs)
@@ -90,36 +113,78 @@ func (m *MDP) NumChoices() int {
 // quantity PRISM reports as "transitions".
 func (m *MDP) NumTransitions() int { return m.numTr }
 
-// Choices returns the choices of a state (shared slice; do not mutate).
-func (m *MDP) Choices(s StateID) []Choice { return m.choices[s] }
+// Choices returns the choices of a state. For list-backed models this is the
+// shared underlying slice (do not mutate); for Builder-built models the
+// choices are materialized fresh from the CSR slabs on every call — fine for
+// inspection and tests, but hot paths should use numChoicesOf/choiceAction.
+func (m *MDP) Choices(s StateID) []Choice {
+	if g := m.flat; g != nil {
+		lo, hi := g.stateOff[s], g.stateOff[s+1]
+		if lo == hi {
+			return nil
+		}
+		out := make([]Choice, 0, hi-lo)
+		for ci := lo; ci < hi; ci++ {
+			trs := make([]Transition, 0, g.choiceOff[ci+1]-g.choiceOff[ci])
+			for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+				trs = append(trs, Transition{To: StateID(g.tos[ti]), P: g.probs[ti]})
+			}
+			out = append(out, Choice{Action: int(g.actions[ci]), Reward: g.rewards[ci], Transitions: trs})
+		}
+		return out
+	}
+	return m.choices[s]
+}
+
+// numChoicesOf returns the number of choices of one state without
+// materializing them.
+func (m *MDP) numChoicesOf(s StateID) int {
+	if g := m.flat; g != nil {
+		return int(g.stateOff[s+1] - g.stateOff[s])
+	}
+	return len(m.choices[s])
+}
+
+// choiceAction returns the caller-supplied action id of choice idx of state
+// s without materializing the choice list.
+func (m *MDP) choiceAction(s StateID, idx int) int {
+	if g := m.flat; g != nil {
+		return int(g.actions[int(g.stateOff[s])+idx])
+	}
+	return m.choices[s][idx].Action
+}
 
 // Validate checks structural sanity: transition targets in range,
 // probabilities in [0,1] summing to 1 per choice (within eps), non-negative
 // rewards. Errors name the state id, the choice index, and the
 // caller-supplied action id, so a bad choice in a generated model can be
-// traced back to the microfluidic action that produced it.
+// traced back to the microfluidic action that produced it. Both storage
+// modes validate over the same CSR walk.
 func (m *MDP) Validate() error {
 	const eps = 1e-9
-	for s, cs := range m.choices {
-		for ci, c := range cs {
-			if len(c.Transitions) == 0 {
-				return fmt.Errorf("mdp: state %d choice %d (action %d) has no transitions", s, ci, c.Action)
+	g := m.flatten()
+	for s := 0; s < g.n; s++ {
+		for ci := g.stateOff[s]; ci < g.stateOff[s+1]; ci++ {
+			idx := int(ci - g.stateOff[s])
+			act := int(g.actions[ci])
+			if g.choiceOff[ci] == g.choiceOff[ci+1] {
+				return fmt.Errorf("mdp: state %d choice %d (action %d) has no transitions", s, idx, act)
 			}
-			if c.Reward < 0 {
-				return fmt.Errorf("mdp: state %d choice %d (action %d) has negative reward %v", s, ci, c.Action, c.Reward)
+			if g.rewards[ci] < 0 {
+				return fmt.Errorf("mdp: state %d choice %d (action %d) has negative reward %v", s, idx, act, g.rewards[ci])
 			}
 			total := 0.0
-			for _, tr := range c.Transitions {
-				if tr.To < 0 || int(tr.To) >= len(m.choices) {
-					return fmt.Errorf("mdp: state %d choice %d (action %d) targets out-of-range state %d", s, ci, c.Action, tr.To)
+			for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+				if g.tos[ti] < 0 || int(g.tos[ti]) >= g.n {
+					return fmt.Errorf("mdp: state %d choice %d (action %d) targets out-of-range state %d", s, idx, act, g.tos[ti])
 				}
-				if tr.P < -eps || tr.P > 1+eps {
-					return fmt.Errorf("mdp: state %d choice %d (action %d) has probability %v", s, ci, c.Action, tr.P)
+				if g.probs[ti] < -eps || g.probs[ti] > 1+eps {
+					return fmt.Errorf("mdp: state %d choice %d (action %d) has probability %v", s, idx, act, g.probs[ti])
 				}
-				total += tr.P
+				total += g.probs[ti]
 			}
 			if math.Abs(total-1) > 1e-6 {
-				return fmt.Errorf("mdp: state %d choice %d (action %d) probabilities sum to %v", s, ci, c.Action, total)
+				return fmt.Errorf("mdp: state %d choice %d (action %d) probabilities sum to %v", s, idx, act, total)
 			}
 		}
 	}
@@ -137,26 +202,39 @@ func (st Strategy) Action(m *MDP, s StateID) (int, bool) {
 	if int(s) >= len(st) || st[s] < 0 {
 		return 0, false
 	}
-	return m.Choices(s)[st[s]].Action, true
+	return m.choiceAction(s, st[s]), true
 }
 
 // SolverMethod selects the value-iteration flavor.
 type SolverMethod int
 
 const (
-	// GaussSeidel updates values in place, typically converging in fewer
-	// sweeps; this is the default.
+	// GaussSeidel updates values in place with alternating-direction
+	// sweeps, typically converging in the fewest wall-clock cycles; this is
+	// the default.
 	GaussSeidel SolverMethod = iota
 	// Jacobi performs synchronous sweeps from the previous iterate.
 	Jacobi
+	// Prioritized processes states goal-outward (Dijkstra order) from a
+	// priority queue seeded backward from the frozen (target) states over
+	// the reverse-edge index, touching only states whose successors
+	// actually changed. On models where the settled region is a small
+	// fraction of the state space it converges in a fraction of the Bellman
+	// backups a full sweep spends; a full verification sweep on queue drain
+	// guarantees the same max-norm convergence criterion as Gauss-Seidel.
+	Prioritized
 )
 
 // String names the method.
 func (m SolverMethod) String() string {
-	if m == Jacobi {
+	switch m {
+	case Jacobi:
 		return "jacobi"
+	case Prioritized:
+		return "prioritized"
+	default:
+		return "gauss-seidel"
 	}
-	return "gauss-seidel"
 }
 
 // SolveOptions tunes the iterative solvers.
@@ -165,9 +243,11 @@ type SolveOptions struct {
 	Eps     float64 // convergence threshold on the max-norm; default 1e-9
 	MaxIter int     // iteration cap; default 1e6
 	// Workers bounds the goroutines used for Jacobi sweeps: 0 means
-	// GOMAXPROCS, 1 forces a sequential sweep. Gauss-Seidel updates in
-	// place and is always sequential. The Jacobi result is independent of
-	// Workers (each sweep reads only the previous iterate).
+	// GOMAXPROCS, 1 forces a sequential sweep. Gauss-Seidel and the
+	// prioritized solver update in place and are always sequential. The
+	// Jacobi result is independent of Workers (each sweep reads only the
+	// previous iterate), and small models collapse to the sequential sweep
+	// regardless of Workers (see sweepWorkers).
 	Workers int
 }
 
@@ -228,14 +308,16 @@ func (m *MDP) MaxReachProb(target, avoid []bool, opt SolveOptions) (Result, erro
 	}
 	g := m.flatten()
 	vals := make([]float64, n)
-	frozen := make([]bool, n)
+	frozen := growB(g.scrFrozen, n)
+	g.scrFrozen = frozen
 	for s := 0; s < n; s++ {
 		if target[s] && (avoid == nil || !avoid[s]) {
 			vals[s] = 1
 		}
 		frozen[s] = target[s] || (avoid != nil && avoid[s]) || g.stateOff[s] == g.stateOff[s+1]
 	}
-	iters, err := g.iterate(vals, frozen, opt, g.bellmanMax)
+	g.selfLoopInv()
+	iters, err := g.iterate(vals, frozen, opt, +1, g.bellmanMaxSL)
 	if err != nil {
 		return Result{}, err
 	}
@@ -253,11 +335,12 @@ func (m *MDP) MaxReachProb(target, avoid []bool, opt SolveOptions) (Result, erro
 	for s := 0; s < n; s++ {
 		strat[s] = -1
 	}
-	done := make([]bool, n)
-	queue := make([]int32, 0, n)
+	done := growB(g.scrInR, n)
+	g.scrInR = done
+	queue := growI(g.scrQueue, n)[:0]
 	for s := 0; s < n; s++ {
-		if target[s] && (avoid == nil || !avoid[s]) {
-			done[s] = true
+		done[s] = target[s] && (avoid == nil || !avoid[s])
+		if done[s] {
 			queue = append(queue, int32(s))
 		}
 	}
@@ -308,9 +391,13 @@ func (m *MDP) MaxReachProb(target, avoid []bool, opt SolveOptions) (Result, erro
 // state with probability 1 while never entering an avoid state. This is the
 // standard qualitative algorithm (greatest fixpoint over a reach-closure),
 // and it determines where Rmin=?[◇target] is finite. The fixpoint runs over
-// the CSR flattening with a reverse-edge worklist (see csr.go).
+// the CSR flattening with a reverse-edge worklist (see csr.go); the internal
+// pass returns solver scratch, so this copies it for the caller.
 func (m *MDP) Prob1E(target, avoid []bool) []bool {
-	return m.flatten().prob1E(target, avoid)
+	res := m.flatten().prob1E(target, avoid)
+	out := make([]bool, len(res))
+	copy(out, res)
+	return out
 }
 
 // MinExpectedReward computes Rmin(s ⊨ ◇target): the minimum expected
@@ -329,14 +416,16 @@ func (m *MDP) MinExpectedReward(target, avoid []bool, opt SolveOptions) (Result,
 	g := m.flatten()
 	as := g.prob1E(target, avoid)
 	vals := make([]float64, n)
-	frozen := make([]bool, n)
+	frozen := growB(g.scrFrozen, n)
+	g.scrFrozen = frozen
 	for s := 0; s < n; s++ {
 		if !as[s] {
 			vals[s] = math.Inf(1)
 		}
 		frozen[s] = target[s] || !as[s] || g.stateOff[s] == g.stateOff[s+1]
 	}
-	iters, err := g.iterate(vals, frozen, opt, g.bellmanMin)
+	g.selfLoopInv()
+	iters, err := g.iterate(vals, frozen, opt, -1, g.bellmanMinSL)
 	if err != nil {
 		return Result{}, err
 	}

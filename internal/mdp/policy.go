@@ -3,7 +3,7 @@
 // computed by the same iterative machinery as the optimization — used to
 // audit synthesized strategies ("does the extracted policy really achieve
 // the reported value?") and to compare hand-written heuristics against the
-// optimum.
+// optimum. Both storage modes evaluate over the CSR flattening.
 package mdp
 
 import (
@@ -21,6 +21,15 @@ func (m *MDP) EvaluatePolicyReward(st Strategy, target []bool, opt SolveOptions)
 	if len(target) != n || len(st) != n {
 		return nil, errors.New("mdp: vector length mismatch")
 	}
+	g := m.flatten()
+	// choice[s] is the global CSR choice id selected in s, or -1.
+	choice := make([]int32, n)
+	for s := 0; s < n; s++ {
+		choice[s] = -1
+		if st[s] >= 0 && int32(st[s]) < g.stateOff[s+1]-g.stateOff[s] {
+			choice[s] = g.stateOff[s] + int32(st[s])
+		}
+	}
 	// Almost-sure reachability under the fixed policy: greatest fixpoint
 	// restricted to the policy's single choice per state.
 	as := make([]bool, n)
@@ -35,20 +44,20 @@ func (m *MDP) EvaluatePolicyReward(st Strategy, target []bool, opt SolveOptions)
 		for changed := true; changed; {
 			changed = false
 			for s := 0; s < n; s++ {
-				if !as[s] || tmp[s] || st[s] < 0 || st[s] >= len(m.choices[s]) {
+				if !as[s] || tmp[s] || choice[s] < 0 {
 					continue
 				}
-				c := m.choices[s][st[s]]
+				ci := choice[s]
 				stays, hits := true, false
-				for _, tr := range c.Transitions {
-					if IsZeroProb(tr.P) {
+				for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+					if IsZeroProb(g.probs[ti]) {
 						continue
 					}
-					if !as[tr.To] {
+					if !as[g.tos[ti]] {
 						stays = false
 						break
 					}
-					if tmp[tr.To] {
+					if tmp[g.tos[ti]] {
 						hits = true
 					}
 				}
@@ -79,16 +88,16 @@ func (m *MDP) EvaluatePolicyReward(st Strategy, target []bool, opt SolveOptions)
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		delta := 0.0
 		for s := 0; s < n; s++ {
-			if target[s] || !as[s] || st[s] < 0 {
+			if target[s] || !as[s] || choice[s] < 0 {
 				continue
 			}
-			c := m.choices[s][st[s]]
-			v := c.Reward
-			for _, tr := range c.Transitions {
-				if IsZeroProb(tr.P) {
+			ci := choice[s]
+			v := g.rewards[ci]
+			for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+				if IsZeroProb(g.probs[ti]) {
 					continue
 				}
-				v += tr.P * vals[tr.To]
+				v += g.probs[ti] * vals[g.tos[ti]]
 			}
 			if d := math.Abs(v - vals[s]); d > delta {
 				delta = d
@@ -110,6 +119,7 @@ func (m *MDP) EvaluatePolicyReach(st Strategy, target, avoid []bool, opt SolveOp
 	if len(target) != n || len(st) != n || (avoid != nil && len(avoid) != n) {
 		return nil, errors.New("mdp: vector length mismatch")
 	}
+	g := m.flatten()
 	vals := make([]float64, n)
 	for s := 0; s < n; s++ {
 		if target[s] && (avoid == nil || !avoid[s]) {
@@ -117,7 +127,8 @@ func (m *MDP) EvaluatePolicyReach(st Strategy, target, avoid []bool, opt SolveOp
 		}
 	}
 	frozen := func(s int) bool {
-		return target[s] || (avoid != nil && avoid[s]) || st[s] < 0 || st[s] >= len(m.choices[s])
+		return target[s] || (avoid != nil && avoid[s]) ||
+			st[s] < 0 || int32(st[s]) >= g.stateOff[s+1]-g.stateOff[s]
 	}
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		delta := 0.0
@@ -125,10 +136,10 @@ func (m *MDP) EvaluatePolicyReach(st Strategy, target, avoid []bool, opt SolveOp
 			if frozen(s) {
 				continue
 			}
-			c := m.choices[s][st[s]]
+			ci := g.stateOff[s] + int32(st[s])
 			v := 0.0
-			for _, tr := range c.Transitions {
-				v += tr.P * vals[tr.To]
+			for ti := g.choiceOff[ci]; ti < g.choiceOff[ci+1]; ti++ {
+				v += g.probs[ti] * vals[g.tos[ti]]
 			}
 			if d := math.Abs(v - vals[s]); d > delta {
 				delta = d

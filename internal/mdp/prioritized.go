@@ -1,0 +1,231 @@
+// Prioritized-sweeping value iteration. Sweep-based solvers recompute every
+// state each round even when most of the value function has already settled;
+// on the goal-directed routing models the useful work is a wavefront that
+// expands backward from the goal, and everything behind the front is wasted
+// backups. This solver keeps an indexed max-heap of states ordered by their
+// proximity to the goal in value space (smallest expected cost first for
+// Rmin, largest reach probability first for Pmax — Dijkstra's order, which
+// is optimal when the model is acyclic from the goal and near-optimal on the
+// routing models' local 2-cycles): it is seeded with the predecessors of the
+// frozen (goal/pinned) states over the reverse-edge index, and whenever a
+// popped state's value changes by d ≥ eps, its predecessors are pushed at
+// the popped state's new value. Values update in place (Gauss-Seidel style),
+// so each backup sees the freshest successors, and the backups use the
+// self-loop-eliminated Bellman forms (bellmanMaxSL/bellmanMinSL) so a
+// state's value settles in one backup once its non-loop successors have —
+// without that, each ε self-loop would need a geometric tail of sweeps to
+// contract away, defeating the one-touch wavefront.
+//
+// Draining the queue alone does not certify convergence — a state whose
+// successors each moved by less than eps can still be stale — so on drain a
+// full verification sweep recomputes every non-frozen state; if any residual
+// reaches eps the affected predecessors are re-queued and draining resumes.
+// The solver therefore returns only after one full sweep with max-norm
+// residual below eps: exactly the Gauss-Seidel convergence criterion, which
+// is what keeps it interchangeable in the solver differential tests.
+package mdp
+
+import "math"
+
+// heapState bundles the indexed-max-heap scratch: heap holds state ids
+// ordered by pri (ties broken toward the smaller id, so pop order and hence
+// the whole solve is deterministic), and pos maps a state id to its heap
+// slot (-1 when absent).
+type heapState struct {
+	heap []int32
+	pri  []float64
+	pos  []int32
+}
+
+func (h *heapState) above(a, b int32) bool {
+	if h.pri[a] > h.pri[b] {
+		return true
+	}
+	if h.pri[a] < h.pri[b] {
+		return false
+	}
+	return a < b
+}
+
+func (h *heapState) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *heapState) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.above(h.heap[i], h.heap[p]) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *heapState) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.heap) && h.above(h.heap[l], h.heap[best]) {
+			best = l
+		}
+		if r < len(h.heap) && h.above(h.heap[r], h.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+// push inserts s with priority p, or raises its priority if s is already
+// queued lower. A raise means one of s's successors settled at a value
+// nearer the goal than the successor that first queued s, so s's own value
+// is bounded by the new trigger and should be processed accordingly sooner;
+// lowering is never done (the earlier, tighter bound stays).
+func (h *heapState) push(s int32, p float64) {
+	if i := h.pos[s]; i >= 0 {
+		if p > h.pri[s] {
+			h.pri[s] = p
+			h.siftUp(int(i))
+		}
+		return
+	}
+	h.pri[s] = p
+	h.pos[s] = int32(len(h.heap))
+	h.heap = append(h.heap, s)
+	h.siftUp(len(h.heap) - 1)
+}
+
+// pop removes and returns the highest-priority state.
+func (h *heapState) pop() int32 {
+	s := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.pos[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.pos[s] = -1
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return s
+}
+
+// residual is |v - old| with the convention that an unchanged infinity has
+// residual 0: Inf-Inf is NaN (the only NaN source here, since values are
+// otherwise finite), which would poison the heap order.
+func residual(v, old float64) float64 {
+	d := math.Abs(v - old)
+	if math.IsNaN(d) {
+		return 0
+	}
+	return d
+}
+
+// prioritizedIterate runs prioritized-sweeping value iteration in place over
+// vals. sign orients the processing order: states are popped in order of
+// sign·value, so Rmin (sign −1, values grow from the goal outward) processes
+// the smallest-valued state first and Pmax (sign +1, probabilities shrink
+// from the goal outward) the largest — in both cases the state nearest the
+// goal, Dijkstra-fashion, so a backup runs only after the successors it
+// depends on have (almost) settled. The residual gates *whether* a
+// predecessor is queued at all; the value orders *when* it runs.
+//
+// It reports the number of equivalent full sweeps (total backups divided by
+// the state count, plus the verification sweeps) so iteration telemetry
+// stays comparable across methods, and the final verification residual.
+func (g *csr) prioritizedIterate(vals []float64, frozen []bool, opt SolveOptions, sign float64,
+	bellman func(s int, src []float64) float64) (int, float64, error) {
+	n := g.n
+	if n == 0 {
+		return 1, 0, nil
+	}
+	g.reverseIndex()
+	h := heapState{
+		heap: growI(g.scrHeap, n)[:0],
+		pri:  growF(g.scrPri, n),
+		pos:  growI(g.scrHPos, n),
+	}
+	for s := 0; s < n; s++ {
+		h.pos[s] = -1
+	}
+	defer func() {
+		g.scrHeap = h.heap[:0]
+		g.scrPri = h.pri
+		g.scrHPos = h.pos
+	}()
+
+	// pushPreds queues every state with a choice that has a positive-
+	// probability edge into t at t's current value: their Bellman values
+	// depend on vals[t], and t's value bounds theirs.
+	pushPreds := func(t int32) {
+		p := sign * vals[t]
+		for ri := g.revOff[t]; ri < g.revOff[t+1]; ri++ {
+			s := g.choiceState[g.revChoice[ri]]
+			if !frozen[s] {
+				h.push(s, p)
+			}
+		}
+	}
+	// Seed backward from the pinned states: the goal (and, for Rmin, the
+	// +Inf non-almost-sure set) is where the value function's boundary
+	// conditions live, so their predecessors are where the first nonzero
+	// residuals appear. Anything the wavefront misses is caught by the
+	// verification sweep below.
+	for s := 0; s < n; s++ {
+		if frozen[s] {
+			pushPreds(int32(s))
+		}
+	}
+
+	backups := 0
+	maxBackups := opt.MaxIter * n
+	sweeps := 0
+	for {
+		for len(h.heap) > 0 {
+			s := h.pop()
+			v := bellman(int(s), vals)
+			d := residual(v, vals[s])
+			vals[s] = v
+			backups++
+			if d >= opt.Eps {
+				pushPreds(s)
+			}
+			if backups > maxBackups {
+				telPrioBackups.Add(int64(backups))
+				return sweeps + backups/n, d, g.convergenceError(int(s), d, opt.MaxIter)
+			}
+		}
+		// Verification sweep: recompute everything in place; re-queue the
+		// predecessors of any state that still moved.
+		delta, worst := 0.0, -1
+		for s := 0; s < n; s++ {
+			if frozen[s] {
+				continue
+			}
+			v := bellman(s, vals)
+			d := residual(v, vals[s])
+			vals[s] = v
+			backups++
+			if d > delta {
+				delta, worst = d, s
+			}
+			if d >= opt.Eps {
+				pushPreds(int32(s))
+			}
+		}
+		sweeps++
+		if delta < opt.Eps {
+			telPrioBackups.Add(int64(backups))
+			return sweeps + backups/n, delta, nil
+		}
+		if sweeps >= opt.MaxIter || backups > maxBackups {
+			telPrioBackups.Add(int64(backups))
+			return sweeps + backups/n, delta, g.convergenceError(worst, delta, opt.MaxIter)
+		}
+	}
+}

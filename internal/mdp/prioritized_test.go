@@ -1,0 +1,159 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+)
+
+// wavefrontMDP builds a chain-like model shaped like the routing models'
+// value structure: state 0 is the target, and every other state has one or
+// two noisy choices stepping toward it, each with a self-loop remainder.
+func wavefrontMDP(n int) (*MDP, []bool) {
+	m := New()
+	m.AddStates(n)
+	for s := 1; s < n; s++ {
+		m.AddChoice(StateID(s), 0, 1, []Transition{
+			{To: StateID(s - 1), P: 0.8}, {To: StateID(s), P: 0.2},
+		})
+		if s >= 2 {
+			m.AddChoice(StateID(s), 1, 1, []Transition{
+				{To: StateID(s - 2), P: 0.6}, {To: StateID(s), P: 0.4},
+			})
+		}
+	}
+	m.AddChoice(0, -1, 0, []Transition{{To: 0, P: 1}})
+	target := make([]bool, n)
+	target[0] = true
+	return m, target
+}
+
+// TestPrioritizedMatchesGaussSeidel solves the wavefront model with both
+// methods through the public API and requires identical values and strategy
+// quality.
+func TestPrioritizedMatchesGaussSeidel(t *testing.T) {
+	const n = 1000
+	m, target := wavefrontMDP(n)
+	rg, err := m.MinExpectedReward(target, nil, SolveOptions{Method: GaussSeidel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := m.MinExpectedReward(target, nil, SolveOptions{Method: Prioritized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < n; s++ {
+		if math.Abs(rg.Values[s]-rp.Values[s]) > 1e-6 {
+			t.Fatalf("state %d: %v (GS) vs %v (prioritized)", s, rg.Values[s], rp.Values[s])
+		}
+	}
+	if _, ok := rp.Strategy.Action(m, n-1); !ok {
+		t.Fatal("prioritized strategy selects nothing at the far end")
+	}
+}
+
+// TestPrioritizedBackupEconomy is the reason the solver exists: on the
+// wavefront model the prioritized method must converge in a small constant
+// number of backups per state, where plain sweeps spend hundreds (the
+// self-loop contraction tail). The bound is deliberately loose — a factor
+// of a few over the ~3n observed — so it fails only if the ordering or the
+// self-loop elimination regresses.
+func TestPrioritizedBackupEconomy(t *testing.T) {
+	const n = 1000
+	m, target := wavefrontMDP(n)
+	before := telPrioBackups.Value()
+	if _, err := m.MinExpectedReward(target, nil, SolveOptions{Method: Prioritized}); err != nil {
+		t.Fatal(err)
+	}
+	backups := telPrioBackups.Value() - before
+	if backups > 10*n {
+		t.Fatalf("prioritized spent %d backups on %d states; want ≤ %d", backups, n, 10*n)
+	}
+}
+
+// TestPrioritizedMaxReach exercises the sign=+1 (Pmax) path: values and
+// strategies must match Gauss-Seidel on a model where some probability mass
+// is lost to a sink.
+func TestPrioritizedMaxReach(t *testing.T) {
+	const n = 50
+	m := New()
+	m.AddStates(n + 1) // n chain states plus a losing sink
+	sink := StateID(n)
+	for s := 1; s < n; s++ {
+		m.AddChoice(StateID(s), 0, 0, []Transition{
+			{To: StateID(s - 1), P: 0.9}, {To: sink, P: 0.05}, {To: StateID(s), P: 0.05},
+		})
+	}
+	m.AddChoice(0, -1, 0, []Transition{{To: 0, P: 1}})
+	m.AddChoice(sink, -1, 0, []Transition{{To: sink, P: 1}})
+	target := make([]bool, n+1)
+	target[0] = true
+	rg, err := m.MaxReachProb(target, nil, SolveOptions{Method: GaussSeidel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := m.MaxReachProb(target, nil, SolveOptions{Method: Prioritized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s <= n; s++ {
+		if math.Abs(rg.Values[s]-rp.Values[s]) > 1e-6 {
+			t.Fatalf("state %d: %v (GS) vs %v (prioritized)", s, rg.Values[s], rp.Values[s])
+		}
+	}
+	if rp.Values[n-1] <= 0 || rp.Values[n-1] >= 1 {
+		t.Fatalf("far-state Pmax = %v, want strictly inside (0,1)", rp.Values[n-1])
+	}
+}
+
+// TestPrioritizedEmptyAndTrivial covers the degenerate paths: an empty
+// model and a model whose only state is the target.
+func TestPrioritizedEmptyAndTrivial(t *testing.T) {
+	m := New()
+	if _, err := m.MinExpectedReward(nil, nil, SolveOptions{Method: Prioritized}); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New()
+	s := m2.AddState()
+	m2.AddChoice(s, -1, 0, []Transition{{To: s, P: 1}})
+	r, err := m2.MinExpectedReward([]bool{true}, nil, SolveOptions{Method: Prioritized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values[0] != 0 {
+		t.Fatalf("target state value = %v, want 0", r.Values[0])
+	}
+}
+
+// TestHeapStateOrder unit-tests the indexed heap: pops come out in priority
+// order with ties broken toward the smaller state id, re-pushing a queued
+// state raises but never lowers its priority, and pos tracking stays
+// consistent.
+func TestHeapStateOrder(t *testing.T) {
+	const n = 8
+	h := heapState{pri: make([]float64, n), pos: make([]int32, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	h.push(3, 1.0)
+	h.push(5, 2.0)
+	h.push(1, 2.0) // ties with 5; smaller id pops first
+	h.push(7, 0.5)
+	h.push(3, 5.0) // raise: 3 must now pop first
+	h.push(5, 1.0) // lower: ignored, 5 keeps priority 2
+	want := []int32{3, 1, 5, 7}
+	for i, w := range want {
+		if len(h.heap) == 0 {
+			t.Fatalf("heap empty at pop %d", i)
+		}
+		got := h.pop()
+		if got != w {
+			t.Fatalf("pop %d = state %d, want %d", i, got, w)
+		}
+		if h.pos[got] != -1 {
+			t.Fatalf("popped state %d still has pos %d", got, h.pos[got])
+		}
+	}
+	if len(h.heap) != 0 {
+		t.Fatalf("heap not drained: %d left", len(h.heap))
+	}
+}

@@ -239,6 +239,7 @@ func TestCheckReducedThroughSynthesize(t *testing.T) {
 	rj := synth.NormalizeDispense(job, 60, 30)
 	opt := synth.DefaultOptions()
 	opt.Query = spec.RoutingQuery(spec.PMax)
+	opt.RetainModel = true
 	res, err := synth.Synthesize(rj, worn, opt)
 	if err != nil {
 		t.Fatal(err)

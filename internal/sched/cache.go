@@ -15,24 +15,42 @@ import (
 // DefaultCacheSize bounds the strategy cache of NewAdaptive.
 const DefaultCacheSize = 256
 
-// CacheKey identifies one synthesized strategy: the job's actual geometry,
-// a fingerprint of the synthesis options (query, action alphabet, solver),
+// CacheKey identifies one synthesized strategy: the job's geometry, a
+// fingerprint of the synthesis options (query, action alphabet, solver),
 // and the hash of the observed health codes inside the job's hazard bounds.
 // Keying on the region's health hash makes the cache exactly as fresh as
 // Alg. 3 requires: any degradation inside the region changes the key (a
 // miss), while degradation elsewhere on the chip leaves it untouched (a
 // hit).
+//
+// Keys come in two forms. FormRaw keys carry the job's actual chip
+// coordinates and the full health hash — one entry per position. FormCanon
+// keys carry the D4-canonical geometry (synth.Canonicalize) and the
+// window's uniform health code — one entry per *shape*, shared by every
+// translated, rotated, or reflected image of the job anywhere on the chip.
+// The two namespaces never collide: Form participates in equality and Hash.
 type CacheKey struct {
 	Start, Goal, Hazard geom.Rect
 	Opts                uint64
 	Health              uint64
+	Form                uint8
 }
 
-// NewCacheKey builds the key for a job under the given options and region
-// health hash (typically chip.HealthHash(rj.Hazard)). The rj must already be
-// dispense-normalized. Obstacle lists are deliberately not part of the key:
-// obstacles are transient droplet positions, and the router bypasses the
-// cache whenever they are present.
+// CacheKey forms.
+const (
+	// FormRaw keys on the job's actual position and the region's exact
+	// health hash.
+	FormRaw uint8 = iota
+	// FormCanon keys on the D4-canonical geometry and a uniform health
+	// code; valid only for jobs whose window health is uniform.
+	FormCanon
+)
+
+// NewCacheKey builds the raw-form key for a job under the given options and
+// region health hash (typically chip.HealthHash(rj.Hazard)). The rj must
+// already be dispense-normalized. Obstacle lists are deliberately not part
+// of the key: obstacles are transient droplet positions, and the router
+// bypasses the cache whenever they are present.
 func NewCacheKey(rj route.RJ, opt synth.Options, health uint64) CacheKey {
 	return CacheKey{
 		Start:  rj.Start,
@@ -41,6 +59,22 @@ func NewCacheKey(rj route.RJ, opt synth.Options, health uint64) CacheKey {
 		Opts:   fingerprintOptions(opt),
 		Health: health,
 	}
+}
+
+// NewCanonicalCacheKey builds the canonical-form key for a job whose hazard
+// window reads a uniform health code, returning the key and the transform
+// from job coordinates to canonical coordinates (needed to de-canonicalize
+// a cached policy on lookup, and to canonicalize a fresh one on store).
+func NewCanonicalCacheKey(rj route.RJ, opt synth.Options, code int) (CacheKey, synth.Transform) {
+	crj, tf := synth.Canonicalize(rj)
+	return CacheKey{
+		Start:  crj.Start,
+		Goal:   crj.Goal,
+		Hazard: crj.Hazard,
+		Opts:   fingerprintOptions(opt),
+		Health: uint64(code),
+		Form:   FormCanon,
+	}, tf
 }
 
 // Hash folds the key into 64 bits — the identity handed to a FaultInjector,
@@ -58,6 +92,7 @@ func (k CacheKey) Hash() uint64 {
 	}
 	word(k.Opts)
 	word(k.Health)
+	word(uint64(k.Form))
 	return h.Sum64()
 }
 
@@ -167,11 +202,14 @@ func (c *Cache) Store(key CacheKey, p synth.Policy, value float64) {
 	}
 }
 
-// Invalidate drops every entry whose hazard region intersects the degraded
-// region, returning how many were removed. Because keys already embed the
-// region's health hash, stale entries can never be served; Invalidate exists
-// to reclaim their space eagerly when the caller knows which
-// microelectrodes degraded.
+// Invalidate drops every raw-form entry whose hazard region intersects the
+// degraded region, returning how many were removed. Because keys already
+// embed the region's health hash, stale entries can never be served;
+// Invalidate exists to reclaim their space eagerly when the caller knows
+// which microelectrodes degraded. Canonical-form entries are position-
+// agnostic — their hazard rects live in canonical space and the entry
+// remains valid for every other same-shape window on the chip — so they are
+// left in place.
 func (c *Cache) Invalidate(region geom.Rect) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -179,7 +217,7 @@ func (c *Cache) Invalidate(region geom.Rect) int {
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
 		e := el.Value.(*cacheEntry)
-		if _, hit := e.key.Hazard.Intersect(region); hit {
+		if _, hit := e.key.Hazard.Intersect(region); hit && e.key.Form == FormRaw {
 			c.ll.Remove(el)
 			delete(c.entries, e.key)
 			removed++

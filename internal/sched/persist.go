@@ -38,9 +38,6 @@ type policyEntry struct {
 
 func rectToArr(r geom.Rect) [4]int { return [4]int{r.XA, r.YA, r.XB, r.YB} }
 func arrToRect(a [4]int) geom.Rect { return geom.Rect{XA: a[0], YA: a[1], XB: a[2], YB: a[3]} }
-func entryKey(e libraryEntry) libKey {
-	return libKey{start: arrToRect(e.Start), goal: arrToRect(e.Goal), hazard: arrToRect(e.Hazard)}
-}
 
 // Save serializes the library as JSON. Entries are written in a stable
 // order so the output is reproducible.
@@ -101,7 +98,11 @@ func less(a, b geom.Rect) bool {
 	return a.YB < b.YB
 }
 
-// Load reads a library saved with Save, merging its entries into l.
+// Load reads a library saved with Save, merging its entries into l. Each
+// entry is re-canonicalized on the way in, so files written before the
+// library became D4-canonical (or hand-authored in chip coordinates) land
+// on the same keys as freshly stored strategies; files that are already
+// canonical round-trip unchanged because Canonicalize is idempotent.
 func (l *Library) Load(r io.Reader) error {
 	var file libraryFile
 	if err := json.NewDecoder(r).Decode(&file); err != nil {
@@ -120,7 +121,9 @@ func (l *Library) Load(r io.Reader) error {
 			}
 			policy[arrToRect(pe.Droplet)] = action.Action(pe.Action)
 		}
-		l.entries[entryKey(e)] = libEntry{policy: policy, value: e.Value}
+		rj := route.RJ{Start: arrToRect(e.Start), Goal: arrToRect(e.Goal), Hazard: arrToRect(e.Hazard)}
+		key, tf := canonical(rj)
+		l.entries[key] = libEntry{policy: tf.ApplyPolicy(policy), value: e.Value}
 	}
 	return nil
 }

@@ -97,9 +97,9 @@ func (b *Baseline) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 	return policy, float64(cycles), nil
 }
 
-// libKey is the canonical (origin-translated) form of a routing job; two
-// jobs with the same key have identical strategies under the
-// no-degradation assumption, up to translation.
+// libKey is the D4-canonical form of a routing job; two jobs with the same
+// key have equivalent strategies under the no-degradation assumption, up to
+// the translation/rotation/reflection that relates them.
 type libKey struct {
 	start, goal, hazard geom.Rect
 }
@@ -125,21 +125,19 @@ func NewLibrary() *Library {
 	return &Library{entries: make(map[libKey]libEntry)}
 }
 
-// canonical translates the job so its hazard rectangle starts at (1,1).
-func canonical(rj route.RJ) (libKey, int, int) {
-	dx := 1 - rj.Hazard.XA
-	dy := 1 - rj.Hazard.YA
-	return libKey{
-		start:  rj.Start.Translate(dx, dy),
-		goal:   rj.Goal.Translate(dx, dy),
-		hazard: rj.Hazard.Translate(dx, dy),
-	}, dx, dy
+// canonical maps the job to its D4-canonical form (synth.Canonicalize):
+// hazard at origin, dihedral element chosen to minimize the geometry tuple.
+// Sound for the library because its strategies assume a fully healthy —
+// hence uniform — window.
+func canonical(rj route.RJ) (libKey, synth.Transform) {
+	crj, tf := synth.Canonicalize(rj)
+	return libKey{start: crj.Start, goal: crj.Goal, hazard: crj.Hazard}, tf
 }
 
-// Lookup returns the stored strategy translated to the job's actual
-// position, or ok=false on a miss.
+// Lookup returns the stored strategy mapped back to the job's actual
+// position and orientation, or ok=false on a miss.
 func (l *Library) Lookup(rj route.RJ) (synth.Policy, float64, bool) {
-	key, dx, dy := canonical(rj)
+	key, tf := canonical(rj)
 	l.mu.Lock()
 	e, ok := l.entries[key]
 	if !ok {
@@ -151,14 +149,14 @@ func (l *Library) Lookup(rj route.RJ) (synth.Policy, float64, bool) {
 	l.hits++
 	l.mu.Unlock()
 	telLibHits.Inc()
-	return e.policy.Translate(-dx, -dy), e.value, true
+	return tf.InvertPolicy(e.policy), e.value, true
 }
 
 // Contains reports whether the library holds a strategy for the job's
 // canonical geometry, without touching the hit/miss counters. Prefetch uses
 // it to probe without distorting Stats.
 func (l *Library) Contains(rj route.RJ) bool {
-	key, _, _ := canonical(rj)
+	key, _ := canonical(rj)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	_, ok := l.entries[key]
@@ -167,8 +165,8 @@ func (l *Library) Contains(rj route.RJ) bool {
 
 // Store records a strategy synthesized under the no-degradation assumption.
 func (l *Library) Store(rj route.RJ, p synth.Policy, value float64) {
-	key, dx, dy := canonical(rj)
-	e := libEntry{policy: p.Translate(dx, dy), value: value}
+	key, tf := canonical(rj)
+	e := libEntry{policy: tf.ApplyPolicy(p), value: value}
 	l.mu.Lock()
 	l.entries[key] = e
 	l.mu.Unlock()
@@ -356,14 +354,26 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 		return res.Policy, res.Value, nil
 	}
 	if a.Cache != nil && len(obstacles) == 0 {
-		key := NewCacheKey(rj, a.Opt, c.HealthHash(rj.Hazard))
-		if p, v, ok := a.Cache.Lookup(key); ok {
+		key, tf, canon := a.cacheKeyFor(rj, c)
+		lookup := func() (synth.Policy, float64, bool) {
+			p, v, ok := a.Cache.Lookup(key)
+			if !ok {
+				return nil, 0, false
+			}
+			if canon {
+				telCanonHits.Inc()
+				return tf.InvertPolicy(p), v, true
+			}
+			telRawHits.Inc()
+			return p, v, true
+		}
+		if p, v, ok := lookup(); ok {
 			a.CacheHits++
 			return p, v, nil
 		}
 		if done := a.pendingFor(key); done != nil {
 			<-done
-			if p, v, ok := a.Cache.Lookup(key); ok {
+			if p, v, ok := lookup(); ok {
 				a.CacheHits++
 				return p, v, nil
 			}
@@ -378,7 +388,11 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 		a.Syntheses++
 		telOnlineSyntheses.Inc()
 		if res.Exists() && !a.poisoned(key) {
-			a.Cache.Store(key, res.Policy, res.Value)
+			if canon {
+				a.Cache.Store(key, tf.ApplyPolicy(res.Policy), res.Value)
+			} else {
+				a.Cache.Store(key, res.Policy, res.Value)
+			}
 		}
 		return res.Policy, res.Value, nil
 	}
@@ -396,10 +410,24 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 	return res.Policy, res.Value, nil
 }
 
+// cacheKeyFor picks the strategy-cache key for a degraded-region job: the
+// D4-canonical per-shape key when the window's observed health is uniform
+// (every translated/rotated/reflected window of the same shape and level
+// shares the entry), the raw per-position key otherwise. canon reports
+// which form was chosen; tf is meaningful only when canon is true.
+func (a *Adaptive) cacheKeyFor(rj route.RJ, c *chip.Chip) (key CacheKey, tf synth.Transform, canon bool) {
+	if code, uniform := c.UniformHealth(rj.Hazard); uniform {
+		key, tf = NewCanonicalCacheKey(rj, a.Opt, code)
+		return key, tf, true
+	}
+	return NewCacheKey(rj, a.Opt, c.HealthHash(rj.Hazard)), synth.Transform{}, false
+}
+
 // Prefetch implements Prefetcher: it snapshots the job's health region and,
 // if an idle pool worker is available, synthesizes the strategy in the
 // background. Healthy regions warm the library; degraded regions warm the
-// cache under the snapshot's health key. Returns false (without spawning
+// cache under the same key Route would use (canonical for uniform-health
+// windows, raw otherwise). Returns false (without spawning
 // anything) when the strategy is already available, an identical prefetch
 // is in flight, or the pool is saturated.
 func (a *Adaptive) Prefetch(rj route.RJ, c *chip.Chip) bool {
@@ -415,7 +443,7 @@ func (a *Adaptive) Prefetch(rj route.RJ, c *chip.Chip) bool {
 	if !healthy && a.Cache == nil {
 		return false
 	}
-	key := NewCacheKey(rj, a.Opt, c.HealthHash(rj.Hazard))
+	key, tf, canon := a.cacheKeyFor(rj, c)
 	if !healthy && a.Cache.Contains(key) {
 		return false
 	}
@@ -436,9 +464,12 @@ func (a *Adaptive) Prefetch(rj route.RJ, c *chip.Chip) bool {
 		// timeout-gated; a poisoned cache line still discards the result.
 		res, err := synth.Synthesize(rj, field, a.Opt)
 		if err == nil && res.Exists() && !a.poisoned(key) {
-			if healthy {
+			switch {
+			case healthy:
 				a.Lib.Store(rj, res.Policy, res.Value)
-			} else {
+			case canon:
+				a.Cache.Store(key, tf.ApplyPolicy(res.Policy), res.Value)
+			default:
 				a.Cache.Store(key, res.Policy, res.Value)
 			}
 		}

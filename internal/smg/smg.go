@@ -166,14 +166,34 @@ type Model struct {
 	GoalSink, HazardSink mdp.StateID
 	Goal, Hazard         []bool
 
-	rects []geom.Rect // position-state id → droplet rectangle
-	index map[geom.Rect]mdp.StateID
+	bounds geom.Rect
+	spans  []span      // one per enumerated droplet shape, in id order
+	rects  []geom.Rect // position-state id → droplet rectangle
+}
+
+// span records the contiguous block of state ids occupied by one droplet
+// shape: positions are enumerated row-major (x fastest) within bounds, so a
+// rectangle's id is recovered arithmetically instead of via a hash map.
+type span struct {
+	w, h int
+	base mdp.StateID
 }
 
 // StateOf returns the MDP state of a droplet rectangle.
 func (m *Model) StateOf(d geom.Rect) (mdp.StateID, bool) {
-	s, ok := m.index[d]
-	return s, ok
+	if !m.bounds.ContainsRect(d) {
+		return 0, false
+	}
+	w, h := d.Width(), d.Height()
+	for _, sp := range m.spans {
+		if sp.w != w || sp.h != h {
+			continue
+		}
+		cols := m.bounds.XB - m.bounds.XA - w + 2 // positions per row
+		id := sp.base + mdp.StateID((d.YA-m.bounds.YA)*cols+(d.XA-m.bounds.XA))
+		return id, true
+	}
+	return 0, false
 }
 
 // RectOf returns the droplet rectangle of a position state; ok is false for
@@ -198,45 +218,69 @@ func GoalLabel(d, goal geom.Rect) bool { return goal.ContainsRect(d) }
 // bounds in any direction.
 func HazardLabel(d, bounds geom.Rect) bool { return !bounds.ContainsRect(d) }
 
-// shapes enumerates the droplet shapes reachable from (w, h) through the
-// morph actions under the aspect-ratio guard, including (w, h) itself.
-func shapes(w, h int, opt ModelOptions) [][2]int {
+// appendShapes appends the droplet shapes reachable from (w, h) through the
+// morph actions under the aspect-ratio guard, including (w, h) itself, to
+// dst (used as both BFS queue and result; visited shapes are scanned in
+// place instead of hashed — the reachable set is tiny).
+func appendShapes(dst [][2]int, w, h int, opt ModelOptions) [][2]int {
+	dst = append(dst, [2]int{w, h})
 	if !opt.AllowMorph {
-		return [][2]int{{w, h}}
+		return dst
 	}
-	seen := map[[2]int]bool{{w, h}: true}
-	queue := [][2]int{{w, h}}
-	var out [][2]int
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
-		out = append(out, s)
-		// Probe the guard with a canonical rectangle of this shape.
-		d := geom.Rect{XA: 1, YA: 1, XB: s[0], YB: s[1]}
-		for _, a := range action.All() {
-			if cls := a.Class(); cls != action.Widen && cls != action.Heighten {
-				continue
+	seen := func(s [2]int) bool {
+		for _, t := range dst {
+			if t == s {
+				return true
 			}
+		}
+		return false
+	}
+	for head := 0; head < len(dst); head++ {
+		// Probe the guard with a canonical rectangle of this shape.
+		s := dst[head]
+		d := geom.Rect{XA: 1, YA: 1, XB: s[0], YB: s[1]}
+		for a := action.WidenNE; a <= action.HeightenSW; a++ {
 			if !a.Enabled(d, opt.MaxAspect) {
 				continue
 			}
 			nd := a.Apply(d)
-			ns := [2]int{nd.Width(), nd.Height()}
-			if !seen[ns] {
-				seen[ns] = true
-				queue = append(queue, ns)
+			if ns := ([2]int{nd.Width(), nd.Height()}); !seen(ns) {
+				dst = append(dst, ns)
 			}
 		}
 	}
-	return out
+	return dst
 }
+
+// Arena builds per-routing-job MDPs with reusable memory: the CSR slabs of
+// an mdp.Builder plus the model bookkeeping (rectangle table, shape spans,
+// label vectors, outcome scratch) are all grown in place and recycled across
+// Induce calls, so a warmed Arena induces a model of any previously seen
+// size with a handful of allocations instead of tens of thousands.
+//
+// The *Model returned by Induce aliases the Arena's memory: it is valid only
+// until the next Induce on the same Arena, must not be used from multiple
+// goroutines concurrently with a rebuild, and (being Builder-built) shares
+// solver scratch — do not run two solves on it concurrently. The zero value
+// is ready for use.
+type Arena struct {
+	b      mdp.Builder
+	model  Model
+	shapes [][2]int
+	outs   []action.Outcome
+	builds int
+}
+
+// Builds returns how many models this arena has induced; any value above 1
+// means slabs are being recycled.
+func (ar *Arena) Builds() int { return ar.builds }
 
 // Induce builds the per-routing-job MDP: droplet rectangles of the start
 // shape (plus morph-reachable shapes if enabled) positioned within bounds,
 // an init commit state, and goal/hazard sinks. field supplies the relative
 // EWOD force per microelectrode — the observed field for synthesis, or the
 // true field for oracle experiments.
-func Induce(bounds, start, goal geom.Rect, field action.ForceField, opt ModelOptions) (*Model, error) {
+func (ar *Arena) Induce(bounds, start, goal geom.Rect, field action.ForceField, opt ModelOptions) (*Model, error) {
 	if opt.MaxAspect <= 0 { // zero value → defaults
 		opt = DefaultModelOptions()
 	}
@@ -250,26 +294,31 @@ func Induce(bounds, start, goal geom.Rect, field action.ForceField, opt ModelOpt
 		return nil, fmt.Errorf("smg: goal %v outside hazard bounds %v", goal, bounds)
 	}
 
-	m := &Model{M: mdp.New(), index: make(map[geom.Rect]mdp.StateID)}
+	ar.builds++
+	ar.b.Reset()
+	m := &ar.model
+	*m = Model{bounds: bounds, spans: m.spans[:0], rects: m.rects[:0],
+		Goal: m.Goal[:0], Hazard: m.Hazard[:0]}
 
 	// Enumerate position states shape by shape, matching the reduced
-	// state space S̃ ⊆ Δh of Sec. VI-C.
-	for _, s := range shapes(start.Width(), start.Height(), opt) {
+	// state space S̃ ⊆ Δh of Sec. VI-C. Positions are laid out row-major
+	// (x fastest) so StateOf can invert the enumeration arithmetically.
+	ar.shapes = appendShapes(ar.shapes[:0], start.Width(), start.Height(), opt)
+	for _, s := range ar.shapes {
 		w, h := s[0], s[1]
+		m.spans = append(m.spans, span{w: w, h: h, base: mdp.StateID(len(m.rects))})
 		for ya := bounds.YA; ya+h-1 <= bounds.YB; ya++ {
 			for xa := bounds.XA; xa+w-1 <= bounds.XB; xa++ {
-				d := geom.Rect{XA: xa, YA: ya, XB: xa + w - 1, YB: ya + h - 1}
-				id := m.M.AddState()
-				m.rects = append(m.rects, d)
-				m.index[d] = id
+				m.rects = append(m.rects, geom.Rect{XA: xa, YA: ya, XB: xa + w - 1, YB: ya + h - 1})
 			}
 		}
 	}
-	m.Init = m.M.AddState()
-	m.GoalSink = m.M.AddState()
-	m.HazardSink = m.M.AddState()
+	ar.b.AddStates(len(m.rects))
+	m.Init = ar.b.AddState()
+	m.GoalSink = ar.b.AddState()
+	m.HazardSink = ar.b.AddState()
 
-	startID, ok := m.index[start]
+	startID, ok := m.StateOf(start)
 	if !ok {
 		return nil, fmt.Errorf("smg: start %v not enumerated", start)
 	}
@@ -297,7 +346,7 @@ func Induce(bounds, start, goal geom.Rect, field action.ForceField, opt ModelOpt
 		if HazardLabel(d, bounds) || blockedAt(d) {
 			return m.HazardSink
 		}
-		id, ok := m.index[d]
+		id, ok := m.StateOf(d)
 		if !ok {
 			// A shape not in the enumerated set (cannot happen with
 			// guard-closed shape enumeration); treat as hazard.
@@ -311,10 +360,11 @@ func Induce(bounds, start, goal geom.Rect, field action.ForceField, opt ModelOpt
 			// Goal-satisfying positions are represented by the sink;
 			// give the position an absorbing self-loop so the model
 			// is deadlock-free if it is ever entered directly.
-			m.M.AddChoice(mdp.StateID(id), -1, 0, []mdp.Transition{{To: mdp.StateID(id), P: 1}})
+			ar.b.BeginChoice(mdp.StateID(id), -1, 0)
+			ar.b.Transition(mdp.StateID(id), 1)
 			continue
 		}
-		for _, a := range action.All() {
+		for a := action.Action(0); a < action.NumActions; a++ {
 			if !opt.allowed(a) {
 				continue
 			}
@@ -324,33 +374,63 @@ func Induce(bounds, start, goal geom.Rect, field action.ForceField, opt ModelOpt
 			if !bounds.ContainsRect(a.Apply(d)) {
 				continue // forbidden: would leave the hazard bounds
 			}
-			outs := action.Outcomes(d, a, field)
-			trs := make([]mdp.Transition, 0, len(outs))
-			for _, o := range outs {
+			ar.outs = action.AppendOutcomes(ar.outs[:0], d, a, field)
+			live := 0
+			for _, o := range ar.outs {
+				if !mdp.IsZeroProb(o.P) {
+					live++
+				}
+			}
+			if live == 0 {
+				continue
+			}
+			ar.b.BeginChoice(mdp.StateID(id), int(a), opt.ActionCost)
+			for _, o := range ar.outs {
 				if mdp.IsZeroProb(o.P) {
 					continue
 				}
-				trs = append(trs, mdp.Transition{To: resolve(o.Droplet), P: o.P})
+				ar.b.Transition(resolve(o.Droplet), o.P)
 			}
-			if len(trs) == 0 {
-				continue
-			}
-			m.M.AddChoice(mdp.StateID(id), int(a), opt.ActionCost, trs)
 		}
 	}
 
 	// Bookkeeping states: the init commit dispatches to the start (or the
 	// goal sink, when the job starts already satisfied); sinks self-loop.
-	m.M.AddChoice(m.Init, -1, 0, []mdp.Transition{{To: resolve(start), P: 1}})
-	m.M.AddChoice(m.GoalSink, -1, 0, []mdp.Transition{{To: m.GoalSink, P: 1}})
-	m.M.AddChoice(m.HazardSink, -1, 0, []mdp.Transition{{To: m.HazardSink, P: 1}})
+	ar.b.BeginChoice(m.Init, -1, 0)
+	ar.b.Transition(resolve(start), 1)
+	ar.b.BeginChoice(m.GoalSink, -1, 0)
+	ar.b.Transition(m.GoalSink, 1)
+	ar.b.BeginChoice(m.HazardSink, -1, 0)
+	ar.b.Transition(m.HazardSink, 1)
 
+	m.M = ar.b.Build()
 	n := m.M.NumStates()
-	m.Goal = make([]bool, n)
+	m.Goal = growBools(m.Goal, n)
 	m.Goal[m.GoalSink] = true
-	m.Hazard = make([]bool, n)
+	m.Hazard = growBools(m.Hazard, n)
 	m.Hazard[m.HazardSink] = true
 	return m, nil
+}
+
+// growBools resizes a label slab to n cleared entries, reusing the backing
+// array when possible.
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// Induce builds the per-routing-job MDP on a fresh arena; the result owns
+// its memory (nothing recycles it) and so has no aliasing caveats. Callers
+// inducing many models back to back should hold an Arena and use its Induce
+// method instead.
+func Induce(bounds, start, goal geom.Rect, field action.ForceField, opt ModelOptions) (*Model, error) {
+	return new(Arena).Induce(bounds, start, goal, field, opt)
 }
 
 // Policy converts a solved mdp.Strategy into the droplet routing strategy

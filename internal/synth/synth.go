@@ -10,6 +10,7 @@ package synth
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"meda/internal/action"
@@ -30,6 +31,13 @@ type Options struct {
 	Model smg.ModelOptions
 	// Solver tunes value iteration.
 	Solver mdp.SolveOptions
+	// RetainModel keeps the induced model on Result.Model for inspection.
+	// When false (the default), Result.Model is nil and the model's memory
+	// is recycled through a pooled smg.Arena, cutting per-synthesis
+	// allocations by orders of magnitude — the reason repeated synthesis
+	// is cheap. Set it when the caller needs the model itself (invariant
+	// checking, certification, export).
+	RetainModel bool
 }
 
 // DefaultOptions returns the paper's synthesis configuration.
@@ -79,12 +87,20 @@ type Result struct {
 	Value float64
 	// Stats carries Table V metrics.
 	Stats Stats
-	// Model retains the induced model for inspection.
+	// Model retains the induced model for inspection; nil unless
+	// Options.RetainModel was set (the model's memory is pooled otherwise).
 	Model *smg.Model
 }
 
 // Exists reports whether a usable strategy was synthesized.
 func (r Result) Exists() bool { return len(r.Policy) > 0 && !math.IsInf(r.Value, 1) }
+
+// arenas recycles model-construction memory across syntheses. Each
+// Synthesize call checks an arena out for its full duration (the induced
+// model aliases the arena's slabs), so concurrent syntheses — e.g. Pool
+// prefetch workers — each get their own arena; a warmed arena rebuilds a
+// previously seen model size with O(1) allocations.
+var arenas = sync.Pool{New: func() any { return new(smg.Arena) }}
 
 // Synthesize runs Alg. 2 for one routing job under the given force field
 // (derived from the current health matrix H). Dispense jobs must be
@@ -98,9 +114,23 @@ func Synthesize(rj route.RJ, field action.ForceField, opt Options) (Result, erro
 	telSyntheses.Inc()
 	var res Result
 
+	ar := arenas.Get().(*smg.Arena)
+	telArenaGets.Inc()
+	if ar.Builds() > 0 {
+		telArenaReuses.Inc()
+	}
+	if !opt.RetainModel {
+		// The model dies with this call; its arena goes back to the pool.
+		// (A retained model keeps its arena, which is simply not recycled.)
+		defer arenas.Put(ar)
+	}
+	defer func() {
+		telArenaReuseRatio.Set(float64(telArenaReuses.Value()) / float64(telArenaGets.Value()))
+	}()
+
 	t0 := time.Now()
 	spb := sp.Child("synth.model_build")
-	model, err := smg.Induce(rj.Hazard, rj.Start, rj.Goal, field, opt.Model)
+	model, err := ar.Induce(rj.Hazard, rj.Start, rj.Goal, field, opt.Model)
 	spb.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("synth: %s: %w", rj.Name(), err)
@@ -109,7 +139,9 @@ func Synthesize(rj route.RJ, field action.ForceField, opt Options) (Result, erro
 	res.Stats.States = model.M.NumStates()
 	res.Stats.Transitions = model.M.NumTransitions()
 	res.Stats.Choices = model.M.NumChoices()
-	res.Model = model
+	if opt.RetainModel {
+		res.Model = model
+	}
 	telConstructNs.Add(res.Stats.Construction.Nanoseconds())
 	telStates.Observe(float64(res.Stats.States))
 

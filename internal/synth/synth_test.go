@@ -284,6 +284,7 @@ func TestPmaxValuesCertified(t *testing.T) {
 	worn := func(x, y int) float64 { return 0.49 }
 	opt := DefaultOptions()
 	opt.Query = spec.RoutingQuery(spec.PMax)
+	opt.RetainModel = true
 	res, err := Synthesize(simpleRJ(), worn, opt)
 	if err != nil {
 		t.Fatal(err)

@@ -20,4 +20,12 @@ var (
 	telPoolJobs   = telemetry.C("synth.pool.jobs")
 	telPoolQueued = telemetry.G("synth.pool.queue_depth")
 	telPoolActive = telemetry.G("synth.pool.active")
+
+	// Arena telemetry: model-construction slab recycling. Every Synthesize
+	// checks an arena out of a sync.Pool (gets); a get whose arena has
+	// built before is a reuse — its slabs are warm and construction runs
+	// allocation-free. The gauge tracks the process-lifetime reuse ratio.
+	telArenaGets       = telemetry.C("synth.arena.gets")
+	telArenaReuses     = telemetry.C("synth.arena.reuses")
+	telArenaReuseRatio = telemetry.G("synth.arena.reuse_ratio")
 )

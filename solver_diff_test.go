@@ -1,7 +1,8 @@
 // Differential test of the CSR solver engine on real models: every routing
 // job of the six evaluation bioassays is induced on a worn chip and solved
-// with both sequential Gauss-Seidel and chunk-parallel Jacobi; the two must
-// agree on values (within tolerance) and on strategy quality.
+// with sequential Gauss-Seidel, chunk-parallel Jacobi, and prioritized
+// sweeping; all must agree on values (within tolerance) and on strategy
+// quality.
 package meda_test
 
 import (
@@ -23,7 +24,10 @@ func TestSolversAgreeOnBenchmarkAssays(t *testing.T) {
 	worn := func(x, y int) float64 { return 0.81 }
 	cfg := chip.Default()
 	gs := mdp.SolveOptions{Method: mdp.GaussSeidel}
-	jac := mdp.SolveOptions{Method: mdp.Jacobi, Workers: 4}
+	alts := []mdp.SolveOptions{
+		{Method: mdp.Jacobi, Workers: 4},
+		{Method: mdp.Prioritized},
+	}
 
 	for _, bench := range assay.EvaluationBenchmarks {
 		bench := bench
@@ -44,33 +48,35 @@ func TestSolversAgreeOnBenchmarkAssays(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s: gauss-seidel: %v", rj.Name(), err)
 					}
-					rj2, err := model.M.MinExpectedReward(model.Goal, model.Hazard, jac)
-					if err != nil {
-						t.Fatalf("%s: jacobi: %v", rj.Name(), err)
-					}
-					for s := range rg.Values {
-						a, b := rg.Values[s], rj2.Values[s]
-						if math.IsInf(a, 1) != math.IsInf(b, 1) {
-							t.Fatalf("%s state %d: finiteness disagrees (%v vs %v)", rj.Name(), s, a, b)
-						}
-						if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-6 {
-							t.Fatalf("%s state %d: %v (GS) vs %v (Jacobi)", rj.Name(), s, a, b)
-						}
-					}
-					// Both strategies must be optimal: evaluating the Jacobi
-					// policy under the model must reproduce the GS value at
-					// the initial state (and vice versa).
 					vg, err := model.M.EvaluatePolicyReward(rg.Strategy, model.Goal, mdp.SolveOptions{})
 					if err != nil {
 						t.Fatalf("%s: evaluate GS policy: %v", rj.Name(), err)
 					}
-					vj, err := model.M.EvaluatePolicyReward(rj2.Strategy, model.Goal, mdp.SolveOptions{})
-					if err != nil {
-						t.Fatalf("%s: evaluate Jacobi policy: %v", rj.Name(), err)
-					}
-					ds, db := vg[model.Init], vj[model.Init]
-					if math.IsInf(ds, 1) != math.IsInf(db, 1) || (!math.IsInf(ds, 1) && math.Abs(ds-db) > 1e-6) {
-						t.Fatalf("%s: strategy quality differs: %v (GS) vs %v (Jacobi)", rj.Name(), ds, db)
+					for _, alt := range alts {
+						ra, err := model.M.MinExpectedReward(model.Goal, model.Hazard, alt)
+						if err != nil {
+							t.Fatalf("%s: %v: %v", rj.Name(), alt.Method, err)
+						}
+						for s := range rg.Values {
+							a, b := rg.Values[s], ra.Values[s]
+							if math.IsInf(a, 1) != math.IsInf(b, 1) {
+								t.Fatalf("%s state %d: finiteness disagrees (%v GS vs %v %v)", rj.Name(), s, a, b, alt.Method)
+							}
+							if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-6 {
+								t.Fatalf("%s state %d: %v (GS) vs %v (%v)", rj.Name(), s, a, b, alt.Method)
+							}
+						}
+						// All strategies must be optimal: evaluating each
+						// method's policy under the model must reproduce the
+						// GS policy's value at the initial state.
+						va, err := model.M.EvaluatePolicyReward(ra.Strategy, model.Goal, mdp.SolveOptions{})
+						if err != nil {
+							t.Fatalf("%s: evaluate %v policy: %v", rj.Name(), alt.Method, err)
+						}
+						ds, db := vg[model.Init], va[model.Init]
+						if math.IsInf(ds, 1) != math.IsInf(db, 1) || (!math.IsInf(ds, 1) && math.Abs(ds-db) > 1e-6) {
+							t.Fatalf("%s: strategy quality differs: %v (GS) vs %v (%v)", rj.Name(), ds, db, alt.Method)
+						}
 					}
 					jobs++
 				}
