@@ -18,10 +18,12 @@ vet:
 fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# Domain-specific static analysis: the medalint suite (floatcmp, chipaccess,
-# ctxcancel, probliteral, lockorder) over the whole tree.
+# Domain-specific static analysis: the twelve-analyzer medalint suite over
+# the whole tree, plus the strict dropped-error audit over the command
+# mains (see internal/lint and DESIGN.md §13).
 lint:
 	$(GO) run ./cmd/medalint ./...
+	$(GO) run ./cmd/medalint -strict ./cmd/...
 
 # Static model-invariant verification over the six benchmark assays:
 # row-stochasticity, dangling targets, reverse-index consistency, strategy
@@ -53,7 +55,9 @@ cover:
 	check ./internal/synth/ 80; \
 	check ./internal/lint/ 80; \
 	check ./internal/lint/cfg/ 80; \
-	check ./internal/lint/dataflow/ 80
+	check ./internal/lint/dataflow/ 80; \
+	check ./internal/lint/callgraph/ 80; \
+	check ./internal/lint/summary/ 80
 
 # Short fuzz bursts over every fuzz target (parser robustness + print/parse
 # round trips). Each target needs its own invocation: -fuzz accepts exactly

@@ -275,7 +275,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "medabench: %v\n", err)
 		os.Exit(1)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "medabench: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("\nparallel speedup (jacobi seq → par): %.2fx\n", rep.Derived["parallel_speedup_vs_jacobi_seq"])
 	fmt.Printf("warm-cache speedup (cold → warm):    %.0fx\n", rep.Derived["warm_cache_speedup"])
 	fmt.Printf("pooled construction speedup:         %.2fx\n", rep.Derived["pooled_construction_speedup"])

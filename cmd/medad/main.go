@@ -56,6 +56,7 @@ func main() {
 	if *state != "" {
 		if f, ferr := os.Open(*state); ferr == nil {
 			c, err = chip.LoadState(f)
+			//lint:ignore errflowstrict close error on a read-only file is meaningless once LoadState decided
 			f.Close()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "medad: %v\n", err)
@@ -86,7 +87,9 @@ func main() {
 		signal.Notify(sig, os.Interrupt)
 		go func() {
 			<-sig
-			ln.Close()
+			if err := ln.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "medad: closing listener: %v\n", err)
+			}
 		}()
 	}
 	if *httpAddr != "" {

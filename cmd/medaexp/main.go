@@ -59,7 +59,9 @@ func main() {
 			if err := tr.Flush(); err != nil {
 				fmt.Fprintf(os.Stderr, "medaexp: trace: %v\n", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "medaexp: trace: %v\n", err)
+			}
 		}()
 	}
 	for _, t := range targets {

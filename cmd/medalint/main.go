@@ -4,12 +4,19 @@
 //
 // Source mode (the default) runs the medalint analyzer suite — floatcmp,
 // chipaccess, ctxcancel, probliteral, lockorder, nilstrategy, errflow,
-// snapshotflow, lockheld — over Go packages and prints compiler-style
-// findings, or with -json one JSON object per finding per line (pos,
-// analyzer, message) for machine consumption:
+// snapshotflow, lockheld, detpure, goroutineleak, chanprotocol — over Go
+// packages and prints compiler-style findings, or with -json one JSON
+// object per finding per line (pos, analyzer, message) for machine
+// consumption. -sarif additionally writes the findings as a SARIF 2.1.0
+// log for GitHub code scanning, -timing prints per-analyzer wall time,
+// and -strict adds the errflowstrict dropped-error analyzer (the cmd/
+// audit mode):
 //
 //	medalint ./...
 //	medalint -json ./...
+//	medalint -sarif out.sarif ./...
+//	medalint -timing ./...
+//	medalint -strict ./cmd/...
 //	medalint -list
 //
 // Model mode verifies the statically checkable invariants of the synthesis
@@ -36,6 +43,7 @@ import (
 	"meda/internal/assay"
 	"meda/internal/chip"
 	"meda/internal/lint"
+	"meda/internal/lint/analysis"
 	"meda/internal/mdp"
 	"meda/internal/modelcheck"
 	"meda/internal/smg"
@@ -45,6 +53,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
+	sarifOut := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	timing := flag.Bool("timing", false, "print per-analyzer wall time to stderr")
+	strict := flag.Bool("strict", false, "add the errflowstrict dropped-error analyzer (cmd audit)")
 	models := flag.Bool("models", false, "verify model invariants over the six benchmark assays instead of linting source")
 	area := flag.Int("area", 16, "dispensed-droplet area for -models compilation")
 	flag.Usage = func() {
@@ -68,7 +79,11 @@ func main() {
 		if len(patterns) == 0 {
 			patterns = []string{"./..."}
 		}
-		findings, err := lint.Run(".", patterns, lint.Analyzers())
+		analyzers := lint.Analyzers()
+		if *strict {
+			analyzers = append(analyzers, lint.ErrFlowStrict)
+		}
+		findings, timings, err := lint.RunTimed(".", patterns, analyzers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "medalint: %v\n", err)
 			os.Exit(2)
@@ -79,6 +94,20 @@ func main() {
 			} else {
 				fmt.Println(f)
 			}
+		}
+		if *sarifOut != "" {
+			if err := writeSARIFFile(*sarifOut, findings, analyzers); err != nil {
+				fmt.Fprintf(os.Stderr, "medalint: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		if *timing {
+			total := 0.0
+			for _, tm := range timings {
+				fmt.Fprintf(os.Stderr, "%-13s %8.3fs\n", tm.Analyzer, tm.Seconds)
+				total += tm.Seconds
+			}
+			fmt.Fprintf(os.Stderr, "%-13s %8.3fs\n", "total", total)
 		}
 		if len(findings) > 0 {
 			os.Exit(1)
@@ -109,6 +138,25 @@ func printJSON(f lint.Finding) {
 		os.Exit(2)
 	}
 	fmt.Println(string(out))
+}
+
+// writeSARIFFile writes the findings as a SARIF log, fsyncing through the
+// usual create/close error paths.
+func writeSARIFFile(path string, findings []lint.Finding, analyzers []*analysis.Analyzer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		wd = "."
+	}
+	if err := lint.WriteSARIF(f, findings, analyzers, wd); err != nil {
+		//lint:ignore errflowstrict the write error below already aborts; the close error cannot add anything
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func firstLine(s string) string {

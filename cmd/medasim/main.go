@@ -60,7 +60,9 @@ func main() {
 			if err := tr.Flush(); err != nil {
 				fmt.Fprintf(os.Stderr, "medasim: trace: %v\n", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "medasim: trace: %v\n", err)
+			}
 		}()
 	}
 
@@ -110,6 +112,7 @@ func main() {
 			os.Exit(1)
 		}
 		g, gerr := meda.ParseAssay(f)
+		//lint:ignore errflowstrict close error on a read-only file is meaningless once ParseAssay decided
 		f.Close()
 		if gerr != nil {
 			fmt.Fprintf(os.Stderr, "medasim: %v\n", gerr)

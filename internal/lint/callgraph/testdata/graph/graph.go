@@ -1,0 +1,71 @@
+// Package graph is the callgraph test fixture: static, interface, and
+// dynamic calls; go/defer/literal contexts; direct and mutual recursion.
+package graph
+
+import "io"
+
+// Leaf has no calls.
+func Leaf() int { return 1 }
+
+// Caller calls Leaf statically, twice.
+func Caller() int { return Leaf() + Leaf() }
+
+// SelfRec recurses directly.
+func SelfRec(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return SelfRec(n - 1)
+}
+
+// Even and Odd recurse mutually.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// Shape is implemented by Square (value receiver) and Circle (pointer
+// receiver).
+type Shape interface{ Area() float64 }
+
+type Square struct{ S float64 }
+
+func (s Square) Area() float64 { return s.S * s.S }
+
+type Circle struct{ R float64 }
+
+func (c *Circle) Area() float64 { return 3 * c.R * c.R }
+
+// Measure dispatches through the interface: CHA resolves to both Area
+// methods.
+func Measure(s Shape) float64 { return s.Area() }
+
+// Dynamic calls through a function value: no targets.
+func Dynamic(f func() int) int { return f() }
+
+// Contexts exercises the async/deferred bits: Leaf is called directly,
+// under defer, under go, and inside a function literal.
+func Contexts() {
+	Leaf()
+	defer Leaf()
+	go Leaf()
+	f := func() { Leaf() }
+	f()
+}
+
+// External calls into another package (io.WriteString has no body here).
+func External(w io.Writer) {
+	_, _ = io.WriteString(w, "x")
+}
+
+// Chain gives the SCC order something to sort: Chain → Caller → Leaf.
+func Chain() int { return Caller() }

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"meda/internal/lint/analysis"
+	"meda/internal/lint/cfg"
+	"meda/internal/lint/dataflow"
+	"meda/internal/lint/summary"
+)
+
+// ChanProtocol enforces the channel-ownership discipline the shutdown
+// paths depend on, in three rules:
+//
+//   - double-close: a channel closed twice on some path panics at runtime.
+//     The check is flow-sensitive (a forward dataflow over the function's
+//     CFG tracks the closed set, so a close inside a loop or on both
+//     branches of a join is caught) and interprocedural: a helper that
+//     closes its parameter — in this package or, via Facts, any upstream
+//     one — counts as a close at the call site.
+//   - close-by-receiver: only the sending side may close a channel
+//     (receivers cannot know whether a send is in flight; closing from the
+//     consumer races send-on-closed-channel panics). A scope that receives
+//     from a channel and closes it without ever sending on it is flagged.
+//   - WaitGroup.Add inside the waited goroutine: `go func() { wg.Add(1);
+//     … }` races wg.Wait — the Wait can pass before the goroutine is
+//     scheduled. Add must happen on the launching side, before the go
+//     statement.
+var ChanProtocol = &analysis.Analyzer{
+	Name: "chanprotocol",
+	Doc:  "flags double-close, close-by-receiver, and WaitGroup.Add inside the waited goroutine",
+	Run:  runChanProtocol,
+}
+
+func runChanProtocol(pass *analysis.Pass) error {
+	sums := summary.Compute(pass)
+	for _, fb := range funcBodies(pass) {
+		runDoubleClose(pass, sums, fb)
+		runCloseByReceiver(pass, fb)
+	}
+	runWaitGroupAdd(pass)
+	return nil
+}
+
+type closedFact = dataflow.VarSet[*types.Var, token.Pos]
+
+// runDoubleClose solves the closed-channel-set problem over one body and
+// reports closes of already-closed channels.
+func runDoubleClose(pass *analysis.Pass, sums summary.Summaries, fb funcBody) {
+	info := pass.TypesInfo
+	escaped := escapedVars(info, fb.Body)
+	g := cfg.New(fb.Body)
+	lat := dataflow.VarSetLattice[*types.Var, token.Pos]{}
+
+	trackable := func(v *types.Var) bool {
+		return v != nil && !escaped[v] && isChannelType(v.Type())
+	}
+
+	// closesAt returns the channel variable a node closes (directly or via
+	// a summarized callee) along with the position of the closing
+	// operation, or nil.
+	closesAt := func(n ast.Node) (vs []*types.Var, poss []token.Pos) {
+		visitShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					if b.Name() == "close" && len(call.Args) == 1 {
+						if v := localVar(info, call.Args[0]); trackable(v) {
+							vs = append(vs, v)
+							poss = append(poss, call.Pos())
+						}
+					}
+					return true
+				}
+			}
+			for ai, arg := range call.Args {
+				v := localVar(info, arg)
+				if !trackable(v) {
+					continue
+				}
+				if ops, known := calleeParamOps(pass, sums, call, ai); known && ops.Has(summary.OpClose) {
+					vs = append(vs, v)
+					poss = append(poss, call.Pos())
+				}
+			}
+			return true
+		})
+		return vs, poss
+	}
+
+	step := func(fact closedFact, n ast.Node, report bool) closedFact {
+		// A re-make resets the channel's protocol state.
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if v := localVar(info, lhs); v != nil {
+					fact = fact.Without(v)
+				}
+			}
+		}
+		vs, poss := closesAt(n)
+		for i, v := range vs {
+			if prev, closed := fact[v]; closed {
+				if report {
+					pass.Reportf(poss[i], "%s may already be closed (closed at %s): double close panics",
+						v.Name(), pass.Fset.Position(prev))
+				}
+				continue
+			}
+			fact = fact.With(v, poss[i])
+		}
+		return fact
+	}
+
+	transfer := func(b *cfg.Block, in closedFact) closedFact {
+		for _, n := range b.Nodes {
+			in = step(in, n, false)
+		}
+		return in
+	}
+
+	res := dataflow.Forward[closedFact](g, lat, nil, transfer, nil)
+	for _, b := range g.Blocks {
+		fact := res.In[b]
+		for _, n := range b.Nodes {
+			fact = step(fact, n, true)
+		}
+	}
+}
+
+// runCloseByReceiver flags scopes that close a channel they receive from
+// without ever sending on it. Sends anywhere in the body — including
+// nested literals, which often are the producer goroutine — count as
+// ownership and silence the rule.
+func runCloseByReceiver(pass *analysis.Pass, fb funcBody) {
+	info := pass.TypesInfo
+	type usage struct {
+		recv, send bool
+		closePos   []token.Pos
+	}
+	uses := make(map[*types.Var]*usage)
+	get := func(v *types.Var) *usage {
+		if v == nil || !isChannelType(v.Type()) {
+			return nil
+		}
+		u := uses[v]
+		if u == nil {
+			u = &usage{}
+			uses[v] = u
+		}
+		return u
+	}
+	ast.Inspect(fb.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if u := get(localVar(info, n.Chan)); u != nil {
+				u.send = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if u := get(localVar(info, n.X)); u != nil {
+					u.recv = true
+				}
+			}
+		case *ast.RangeStmt:
+			if isChannelType(info.Types[n.X].Type) {
+				if u := get(localVar(info, n.X)); u != nil {
+					u.recv = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+					if u := get(localVar(info, n.Args[0])); u != nil {
+						u.closePos = append(u.closePos, n.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+	for v, u := range uses {
+		if u.recv && !u.send && len(u.closePos) > 0 {
+			for _, pos := range u.closePos {
+				pass.Reportf(pos, "%s is closed by its receiver: only the sending side may close a channel", v.Name())
+			}
+		}
+	}
+}
+
+// runWaitGroupAdd flags wg.Add calls inside go-launched function literals
+// on a WaitGroup captured from the launching scope.
+func runWaitGroupAdd(pass *analysis.Pass) {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			// Variables declared inside the literal are its own; a captured
+			// WaitGroup is any other one.
+			declared := make(map[*types.Var]bool)
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := info.Defs[id].(*types.Var); ok {
+						declared[v] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Add" {
+					return true
+				}
+				s := info.Selections[sel]
+				if s == nil || !isWaitGroup(s.Recv()) {
+					return true
+				}
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok && !declared[v] {
+						pass.Reportf(call.Pos(),
+							"WaitGroup.Add inside the goroutine it counts races Wait: call Add before the go statement")
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

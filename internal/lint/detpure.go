@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"meda/internal/lint/analysis"
+	"meda/internal/lint/summary"
+)
+
+// DetPure enforces declared determinism contracts interprocedurally. A
+// function annotated
+//
+//	//meda:deterministic
+//
+// in its doc comment promises that its output depends only on its inputs —
+// the property the replay story rests on: fault-injection decisions,
+// strategy-cache keys, and trace payloads must be byte-identical across
+// replays of the same seed. The analyzer computes bottom-up call-graph
+// summaries (internal/lint/summary) and reports every nondeterminism
+// source transitively reachable from an annotated function, however many
+// call frames down and across package boundaries (summaries propagate as
+// analysis Facts): wall-clock reads (time.Now/Since/Until), draws from the
+// global math/rand source (seeded *rand.Rand instances stay legal),
+// crypto/rand, map iteration order feeding ordered output (a sort call in
+// the ranging function neutralizes it), and scheduler-dependent select arm
+// choice. Each finding carries the witness call chain, so a `time.Now` two
+// frames below a cache-key hash reads as "reaches time.Now via jitter →
+// stamp".
+var DetPure = &analysis.Analyzer{
+	Name: "detpure",
+	Doc:  "flags nondeterminism reachable from //meda:deterministic functions",
+	Run:  runDetPure,
+}
+
+// deterministicDirective is the doc-comment annotation declaring a
+// determinism contract.
+const deterministicDirective = "//meda:deterministic"
+
+func runDetPure(pass *analysis.Pass) error {
+	sums := summary.Compute(pass)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, deterministicDirective) {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := sums.Of(pass, fn)
+			if sum == nil {
+				continue
+			}
+			for _, src := range sum.Nondet {
+				pos := src.Pos
+				if !pos.IsValid() {
+					pos = fd.Name.Pos()
+				}
+				pass.Reportf(pos, "%s is marked //meda:deterministic but reaches %s", fn.Name(), src)
+			}
+		}
+	}
+	return nil
+}
+
+// hasDirective reports whether a comment group contains the directive as a
+// whole comment line (directives never carry trailing text).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}

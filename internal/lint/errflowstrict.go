@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"meda/internal/lint/analysis"
+)
+
+// ErrFlowStrict is errflow's strict companion for command mains: it flags
+// call results whose error is discarded outright — a bare call statement
+// returning an error, or an error result assigned to the blank identifier.
+// The base errflow analyzer only tracks errors that were assigned to a
+// variable; a command that never binds the error in the first place
+// (`f.Close()`, `enc.Encode(v)`) sails past it, and in a main package there
+// is no caller left to recover. The analyzer is not part of the default
+// suite; medalint -strict adds it, and make lint runs it over ./cmd/...
+//
+// Print-style calls into package fmt and writes into in-memory sinks
+// (*strings.Builder, *bytes.Buffer — their Write methods are documented
+// never to fail) are exempt. Deferred calls are exempt too: `defer
+// f.Close()` on a read path is conventional, and errflow already covers the
+// cases where the deferred error is captured.
+var ErrFlowStrict = &analysis.Analyzer{
+	Name: "errflowstrict",
+	Doc:  "flags discarded error results in command mains (bare calls, blank assignments)",
+	Run:  runErrFlowStrict,
+}
+
+func runErrFlowStrict(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+				if !ok || strictExempt(info, call) {
+					return true
+				}
+				if errorResultCount(info, call) > 0 {
+					pass.Reportf(call.Pos(), "error result of %s is discarded: handle it or assign it", callName(info, call))
+				}
+			case *ast.AssignStmt:
+				reportBlankErrors(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportBlankErrors flags error results assigned to the blank identifier,
+// in both the tuple form `v, _ := f()` and the paired form `_ = f()`.
+func reportBlankErrors(pass *analysis.Pass, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || strictExempt(info, call) {
+			return
+		}
+		tuple, ok := info.Types[call].Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if i < tuple.Len() && isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error result of %s is discarded into _: handle it or assign it", callName(info, call))
+			}
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok || strictExempt(info, call) {
+			continue
+		}
+		if t := info.Types[call].Type; t != nil && isErrorType(t) {
+			pass.Reportf(lhs.Pos(), "error result of %s is discarded into _: handle it or assign it", callName(info, call))
+		}
+	}
+}
+
+// errorResultCount returns how many of a call's results are errors.
+func errorResultCount(info *types.Info, call *ast.CallExpr) int {
+	t := info.Types[call].Type
+	switch t := t.(type) {
+	case nil:
+		return 0
+	case *types.Tuple:
+		n := 0
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				n++
+			}
+		}
+		return n
+	default:
+		if isErrorType(t) {
+			return 1
+		}
+		return 0
+	}
+}
+
+// strictExempt reports whether a call's dropped error is conventionally
+// acceptable: fmt printing, or writes into in-memory sinks that never fail.
+func strictExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// callName renders a call target for diagnostics.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			rt := sig.Recv().Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if named, ok := rt.(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name()
+			}
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "the call"
+}

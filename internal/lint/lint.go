@@ -1,32 +1,49 @@
 // Package lint is the medalint analyzer suite: domain-specific static
 // checks that guard the invariants the synthesis engine's correctness
 // argument rests on (Sec. VI-C's SMG→MDP reduction and the concurrent
-// synthesis path of Alg. 3). The nine analyzers are
+// synthesis path of Alg. 3). The twelve analyzers are
 //
-//	floatcmp     — no raw ==/!= on floating-point probabilities, forces or
-//	               values outside approved epsilon helpers
-//	chipaccess   — background goroutines must not read live chip.Chip
-//	               state; they get snapshots (chip.SnapshotForceField)
-//	ctxcancel    — synth.Pool submissions must keep the returned
-//	               handle/started flag, and Future errors must be checked
-//	probliteral  — literal probabilities stay within [0, 1]
-//	lockorder    — mutexes in sched/synth are acquired in one global order
-//	nilstrategy  — a policy produced by a lookup reporting !ok must not
-//	               flow to a use without an ok/nil check on the path
-//	errflow      — an error assigned to a variable must be checked before
-//	               it is overwritten or the function returns
-//	snapshotflow — live force-field closures derived from a chip.Chip must
-//	               not cross into goroutines or pool submissions
-//	lockheld     — no potentially blocking call (channel op, Pool/Future
-//	               waits, solver entry points) while a mutex is held
+//	floatcmp      — no raw ==/!= on floating-point probabilities, forces or
+//	                values outside approved epsilon helpers
+//	chipaccess    — background goroutines must not read live chip.Chip
+//	                state; they get snapshots (chip.SnapshotForceField)
+//	ctxcancel     — synth.Pool submissions must keep the returned
+//	                handle/started flag, and Future errors must be checked
+//	probliteral   — literal probabilities stay within [0, 1]
+//	lockorder     — mutexes in sched/synth are acquired in one global order
+//	nilstrategy   — a policy produced by a lookup reporting !ok must not
+//	                flow to a use without an ok/nil check on the path
+//	errflow       — an error assigned to a variable must be checked before
+//	                it is overwritten or the function returns
+//	snapshotflow  — live force-field closures derived from a chip.Chip must
+//	                not cross into goroutines or pool submissions
+//	lockheld      — no potentially blocking call (channel op, Pool/Future
+//	                waits, solver entry points) while a mutex is held
+//	detpure       — functions declaring //meda:deterministic must not reach
+//	                a nondeterminism source, however many call frames down
+//	goroutineleak — goroutines must not block forever on channels with no
+//	                counterpart operation and no escape hatch
+//	chanprotocol  — no double close, no close from the receiving side, no
+//	                WaitGroup.Add inside the goroutine it counts
 //
-// The first five are syntactic, single-pass checks; the last four are
+// The first five are syntactic, single-pass checks; the next four are
 // flow-sensitive: each builds a per-function control-flow graph
 // (internal/lint/cfg) and solves a dataflow problem over it
-// (internal/lint/dataflow). lockheld additionally consumes cross-package
-// facts — "may block" markers exported while analyzing upstream packages —
-// so the driver analyzes packages in dependency order sharing one
-// analysis.FactStore.
+// (internal/lint/dataflow). The last three are interprocedural: they build
+// the package call graph (internal/lint/callgraph) and consume bottom-up
+// function summaries (internal/lint/summary) that cross package boundaries
+// as analysis facts — the driver analyzes packages in dependency order
+// sharing one analysis.FactStore, so a send three frames deep in an
+// upstream package still registers at the call site downstream.
+//
+// A finding can be suppressed at the site with a directive comment
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the finding's line or the line above it. The directive itself is
+// checked: an unknown analyzer name, a missing reason, or a directive that
+// suppresses nothing is reported under the pseudo-analyzer "directive", so
+// stale suppressions rot visibly instead of silently.
 //
 // Each analyzer follows the go/analysis contract of internal/lint/analysis
 // and is exercised by an analysistest golden package under testdata/.
@@ -34,8 +51,12 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
+	"regexp"
 	"sort"
+	"strings"
+	"time"
 
 	"meda/internal/lint/analysis"
 )
@@ -45,6 +66,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		FloatCmp, ChipAccess, CtxCancel, ProbLiteral, LockOrder,
 		NilStrategy, ErrFlow, SnapshotFlow, LockHeld,
+		DetPure, GoroutineLeak, ChanProtocol,
 	}
 }
 
@@ -61,28 +83,150 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
+// Timing is the wall-clock cost of one analyzer summed over every package
+// it ran on.
+type Timing struct {
+	Analyzer string
+	Seconds  float64
+}
+
+// ignoreRE matches a suppression directive comment. The analyzer name is
+// mandatory; the reason is validated separately so its absence can carry a
+// dedicated diagnostic.
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)[ \t]*(.*)$`)
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	pos      token.Position
+	used     bool
+}
+
+// collectDirectives parses the suppression directives of one package.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var out []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &directive{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					file:     pos.Filename,
+					line:     pos.Line,
+					pos:      pos,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether the directive covers a finding: same analyzer,
+// same file, on the directive's line or the one below it (the conventional
+// comment-above-the-statement placement).
+func (d *directive) suppresses(f Finding) bool {
+	return d.analyzer == f.Analyzer && d.file == f.Pos.Filename &&
+		(f.Pos.Line == d.line || f.Pos.Line == d.line+1)
+}
+
+// applyDirectives filters suppressed findings out and appends "directive"
+// findings for suppressions that are malformed (unknown analyzer, missing
+// reason) or dead (suppress nothing). known is the full analyzer registry —
+// a directive for a registered analyzer that simply isn't part of this run
+// (errflowstrict outside -strict) is left alone rather than called unknown,
+// and its usedness is only judged when its analyzer actually ran.
+func applyDirectives(findings []Finding, directives []*directive, known, ran map[string]bool) []Finding {
+	if len(directives) == 0 {
+		return findings
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range directives {
+			if d.suppresses(f) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, d := range directives {
+		switch {
+		case !known[d.analyzer]:
+			kept = append(kept, Finding{
+				Analyzer: "directive",
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", d.analyzer),
+			})
+		case d.reason == "":
+			kept = append(kept, Finding{
+				Analyzer: "directive",
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("//lint:ignore %s has no reason: say why the finding is acceptable", d.analyzer),
+			})
+		case !d.used && ran[d.analyzer]:
+			kept = append(kept, Finding{
+				Analyzer: "directive",
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("//lint:ignore %s suppresses nothing: remove the stale directive", d.analyzer),
+			})
+		}
+	}
+	return kept
+}
+
 // Run loads every package matched by the patterns (relative to a directory
 // inside the module) and applies the analyzers, returning all findings
 // sorted by position. Packages are analyzed in dependency order (imports
 // first) sharing one fact store, so fact-consuming analyzers like lockheld
-// see what upstream passes exported. Packages that fail to load abort the
-// run: the suite lints only code that compiles.
+// and the summary-based interprocedural checks see what upstream passes
+// exported. Packages that fail to load abort the run: the suite lints only
+// code that compiles.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	findings, _, err := RunTimed(dir, patterns, analyzers)
+	return findings, err
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timing, sorted by decreasing
+// cost.
+func RunTimed(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, []Timing, error) {
 	loader, err := analysis.NewLoader(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	dirs, err := loader.DirsInDependencyOrder(patterns...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	facts := analysis.NewFactStore()
+	known := map[string]bool{"directive": true, ErrFlowStrict.Name: true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+		ran[a.Name] = true
+	}
+	seconds := make(map[string]float64, len(analyzers))
 	var findings []Finding
+	var directives []*directive
 	for _, d := range dirs {
 		pkg, err := loader.LoadDir(d)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		directives = append(directives, collectDirectives(pkg.Fset, pkg.Files)...)
 		for _, a := range analyzers {
 			a := a
 			pass := &analysis.Pass{
@@ -100,11 +244,15 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Findi
 					})
 				},
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			start := time.Now()
+			err := a.Run(pass)
+			seconds[a.Name] += time.Since(start).Seconds()
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
+	findings = applyDirectives(findings, directives, known, ran)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -115,5 +263,18 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Findi
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Analyzer: a.Name, Seconds: seconds[a.Name]})
+	}
+	sort.Slice(timings, func(i, j int) bool {
+		if timings[i].Seconds > timings[j].Seconds {
+			return true
+		}
+		if timings[i].Seconds < timings[j].Seconds {
+			return false
+		}
+		return timings[i].Analyzer < timings[j].Analyzer
+	})
+	return findings, timings, nil
 }

@@ -22,6 +22,32 @@ func TestErrFlow(t *testing.T)      { analysistest.Run(t, testdata("errflow"), l
 func TestSnapshotFlow(t *testing.T) { analysistest.Run(t, testdata("snapshotflow"), lint.SnapshotFlow) }
 func TestLockHeld(t *testing.T)     { analysistest.Run(t, testdata("lockheld"), lint.LockHeld) }
 
+func TestDetPure(t *testing.T) { analysistest.Run(t, testdata("detpure"), lint.DetPure) }
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, testdata("goroutineleak"), lint.GoroutineLeak)
+}
+func TestChanProtocol(t *testing.T) { analysistest.Run(t, testdata("chanprotocol"), lint.ChanProtocol) }
+
+func TestErrFlowStrict(t *testing.T) {
+	analysistest.Run(t, testdata("errflowstrict"), lint.ErrFlowStrict)
+}
+
+// TestStrictCmdAudit: the strict dropped-error analyzer must stay clean
+// over every command main — the make lint gate for cmd/ in test form.
+func TestStrictCmdAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping cmd audit in -short mode")
+	}
+	findings, err := lint.Run(".", []string{"./cmd/..."},
+		append(lint.Analyzers(), lint.ErrFlowStrict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
 // TestLockHeldCrossPackageFacts drives the full Run pipeline over the
 // provider/consumer golden pair: the finding in consumer exists only when
 // the driver analyzes provider first and shares its MayBlock facts.
@@ -50,17 +76,93 @@ func TestLockHeldCrossPackageFacts(t *testing.T) {
 	}
 }
 
-// TestSuiteRegistry: the multichecker exposes exactly the nine analyzers,
+// TestSummaryCrossPackageFacts drives the full Run pipeline over the
+// summary provider/consumer golden pair: each of the three interprocedural
+// analyzers has one finding in consumer that exists only because provider's
+// FnSummary facts crossed the package boundary through the shared store.
+func TestSummaryCrossPackageFacts(t *testing.T) {
+	findings, err := lint.Run(".", []string{
+		// Consumer-first on purpose: the driver must reorder on its own.
+		"./internal/lint/testdata/summaryfacts/consumer",
+		"./internal/lint/testdata/summaryfacts/provider",
+	}, []*analysis.Analyzer{lint.DetPure, lint.GoroutineLeak, lint.ChanProtocol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAnalyzer := make(map[string]lint.Finding)
+	for _, f := range findings {
+		if !strings.HasSuffix(f.Pos.Filename, "consumer.go") {
+			t.Errorf("finding at %s, want all findings inside consumer.go", f.Pos)
+		}
+		byAnalyzer[f.Analyzer] = f
+	}
+	if len(findings) != 3 || len(byAnalyzer) != 3 {
+		t.Fatalf("got %d findings (%d analyzers), want 3 distinct: %v", len(findings), len(byAnalyzer), findings)
+	}
+	if f := byAnalyzer["detpure"]; !strings.Contains(f.Message, "time.Now via provider.Clock") {
+		t.Errorf("detpure finding %q does not carry the cross-package witness chain", f.Message)
+	}
+	if f := byAnalyzer["goroutineleak"]; !strings.Contains(f.Message, "sends on ch") {
+		t.Errorf("goroutineleak finding %q does not name the leaked send", f.Message)
+	}
+	if f := byAnalyzer["chanprotocol"]; !strings.Contains(f.Message, "already be closed") {
+		t.Errorf("chanprotocol finding %q is not the double close", f.Message)
+	}
+}
+
+// TestSuppressionDirectives: a reasoned //lint:ignore removes its finding;
+// a reasonless, unknown-analyzer, or dead directive is itself a finding.
+func TestSuppressionDirectives(t *testing.T) {
+	findings, err := lint.Run(".", []string{"./internal/lint/testdata/suppress"}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var directive, chanprotocol []string
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "directive":
+			directive = append(directive, f.Message)
+		case "chanprotocol":
+			chanprotocol = append(chanprotocol, f.Message)
+		default:
+			t.Errorf("unexpected %s finding: %s", f.Analyzer, f)
+		}
+	}
+	// Only unknownAnalyzer's double close survives: the well-formed and the
+	// reasonless directives both suppress theirs.
+	if len(chanprotocol) != 1 {
+		t.Errorf("got %d chanprotocol findings, want 1 (the misspelled directive suppresses nothing): %v",
+			len(chanprotocol), chanprotocol)
+	}
+	wantDirective := []string{"unknown analyzer", "has no reason", "suppresses nothing"}
+	if len(directive) != len(wantDirective) {
+		t.Fatalf("got %d directive findings, want %d: %v", len(directive), len(wantDirective), directive)
+	}
+	for _, want := range wantDirective {
+		found := false
+		for _, msg := range directive {
+			if strings.Contains(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no directive finding matching %q in %v", want, directive)
+		}
+	}
+}
+
+// TestSuiteRegistry: the multichecker exposes exactly the twelve analyzers,
 // each named and documented.
 func TestSuiteRegistry(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) != 9 {
-		t.Fatalf("Analyzers() returned %d analyzers, want 9", len(as))
+	if len(as) != 12 {
+		t.Fatalf("Analyzers() returned %d analyzers, want 12", len(as))
 	}
 	want := map[string]bool{
 		"floatcmp": true, "chipaccess": true, "ctxcancel": true,
 		"probliteral": true, "lockorder": true, "nilstrategy": true,
 		"errflow": true, "snapshotflow": true, "lockheld": true,
+		"detpure": true, "goroutineleak": true, "chanprotocol": true,
 	}
 	for _, a := range as {
 		if !want[a.Name] {

@@ -1,0 +1,218 @@
+package summary_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meda/internal/lint/analysis"
+	"meda/internal/lint/summary"
+)
+
+// loadSums computes the fixture package's summaries once per test run.
+func loadSums(t *testing.T) (*analysis.Pass, summary.Summaries) {
+	t.Helper()
+	dir := filepath.Join("testdata", "sums")
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Facts:     analysis.NewFactStore(),
+		Report:    func(analysis.Diagnostic) {},
+	}
+	return pass, summary.Compute(pass)
+}
+
+func fn(t *testing.T, pass *analysis.Pass, name string) *types.Func {
+	t.Helper()
+	parts := strings.Split(name, ".")
+	obj := pass.Pkg.Scope().Lookup(parts[0])
+	if obj == nil {
+		t.Fatalf("no object %s", name)
+	}
+	if len(parts) == 1 {
+		f, ok := obj.(*types.Func)
+		if !ok {
+			t.Fatalf("%s is not a function", name)
+		}
+		return f
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		t.Fatalf("%s is not a named type", parts[0])
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == parts[1] {
+			return named.Method(i)
+		}
+	}
+	t.Fatalf("no method %s", name)
+	return nil
+}
+
+func sumOf(t *testing.T, pass *analysis.Pass, sums summary.Summaries, name string) *summary.FnSummary {
+	t.Helper()
+	s := sums.Of(pass, fn(t, pass, name))
+	if s == nil {
+		t.Fatalf("no summary for %s", name)
+	}
+	return s
+}
+
+func TestDirectNondet(t *testing.T) {
+	pass, sums := loadSums(t)
+	for name, kind := range map[string]string{
+		"Clock":     "time.Now",
+		"Roll":      "math/rand.Intn",
+		"MapEmit":   "map iteration order",
+		"Race":      "select arm order",
+		"UseTicker": "time.Now", // narrow CHA through Ticker → WallTicker
+	} {
+		s := sumOf(t, pass, sums, name)
+		if _, ok := s.NondetFor(kind); !ok {
+			t.Errorf("%s: missing nondet source %q (got %v)", name, kind, s.Nondet)
+		}
+	}
+}
+
+func TestDeterministicFunctionsStayClean(t *testing.T) {
+	pass, sums := loadSums(t)
+	for _, name := range []string{"SeededRoll", "MapSorted", "MapReduce", "SelfClean", "FixedTicker.Tick"} {
+		if s := sums.Of(pass, fn(t, pass, name)); s != nil && len(s.Nondet) > 0 {
+			t.Errorf("%s: unexpected nondet sources %v", name, s.Nondet)
+		}
+	}
+}
+
+func TestTransitiveNondetWithViaChain(t *testing.T) {
+	pass, sums := loadSums(t)
+	s := sumOf(t, pass, sums, "ViaTwo")
+	src, ok := s.NondetFor("time.Now")
+	if !ok {
+		t.Fatalf("ViaTwo: missing time.Now source, got %v", s.Nondet)
+	}
+	if src.Via != "ViaOne → Clock" {
+		t.Errorf("ViaTwo witness chain = %q, want %q", src.Via, "ViaOne → Clock")
+	}
+	if !src.Pos.IsValid() {
+		t.Error("ViaTwo witness has no position")
+	}
+	if src.String() != "time.Now via ViaOne → Clock" {
+		t.Errorf("Source.String() = %q", src.String())
+	}
+}
+
+func TestBlocking(t *testing.T) {
+	pass, sums := loadSums(t)
+	if s := sumOf(t, pass, sums, "Recv"); !s.MayBlock() {
+		t.Error("Recv should block")
+	}
+	s := sumOf(t, pass, sums, "RecvVia")
+	if !s.MayBlock() || !strings.Contains(s.BlockReason, "Recv") {
+		t.Errorf("RecvVia block reason = %q, want a call-to-Recv reason", s.BlockReason)
+	}
+	for _, name := range []string{"Spawn", "Poll", "SeededRoll"} {
+		if s := sums.Of(pass, fn(t, pass, name)); s.MayBlock() {
+			t.Errorf("%s should not block (reason %q)", name, s.BlockReason)
+		}
+	}
+}
+
+// TestSCCConvergence: the mutually recursive Ping/Pong pair and the
+// self-recursive SelfClean must both reach a fixpoint, the former tainted,
+// the latter empty.
+func TestSCCConvergence(t *testing.T) {
+	pass, sums := loadSums(t)
+	for _, name := range []string{"PingNondet", "PongNondet"} {
+		s := sumOf(t, pass, sums, name)
+		if _, ok := s.NondetFor("time.Now"); !ok {
+			t.Errorf("%s: recursion did not converge to the time.Now source (got %v)", name, s.Nondet)
+		}
+	}
+	if s := sums.Of(pass, fn(t, pass, "SelfClean")); s != nil && (len(s.Nondet) > 0 || s.MayBlock()) {
+		t.Errorf("SelfClean: summary should be empty, got %+v", s)
+	}
+}
+
+func TestParamOps(t *testing.T) {
+	pass, sums := loadSums(t)
+	cases := []struct {
+		fn    string
+		param int
+		want  summary.ParamOps
+	}{
+		{"SendTo", 0, summary.OpSend},
+		{"CloseIt", 0, summary.OpClose},
+		{"DrainVia", 0, summary.OpRecv},
+		{"Recv", 0, summary.OpRecv},
+		{"Leak", 0, summary.OpEscape},
+		{"Hand", 0, summary.OpEscape},
+		{"Capture", 0, summary.OpEscape},
+		{"Opaque", 0, summary.OpEscape},
+	}
+	for _, c := range cases {
+		s := sumOf(t, pass, sums, c.fn)
+		if len(s.Params) <= c.param {
+			t.Errorf("%s: summary has %d params, want > %d", c.fn, len(s.Params), c.param)
+			continue
+		}
+		if !s.Params[c.param].Has(c.want) {
+			t.Errorf("%s param %d ops = %b, want bit %b set", c.fn, c.param, s.Params[c.param], c.want)
+		}
+	}
+}
+
+// TestFactsExported: non-empty summaries must be exported as facts keyed by
+// object, so downstream packages can import them.
+func TestFactsExported(t *testing.T) {
+	pass, sums := loadSums(t)
+	_ = sums
+	var fact summary.FnSummary
+	if !pass.ImportObjectFact(fn(t, pass, "Clock"), &fact) {
+		t.Fatal("Clock: no FnSummary fact exported")
+	}
+	if _, ok := fact.NondetFor("time.Now"); !ok {
+		t.Errorf("Clock fact lacks the time.Now source: %+v", fact)
+	}
+	// A clean function exports no fact.
+	var clean summary.FnSummary
+	if pass.ImportObjectFact(fn(t, pass, "SelfClean"), &clean) {
+		t.Errorf("SelfClean exported a fact: %+v", clean)
+	}
+}
+
+// TestSeededStdlibResolution: Of falls back to the seeded tables for
+// stdlib functions no pass analyzed.
+func TestSeededStdlibResolution(t *testing.T) {
+	pass, sums := loadSums(t)
+	timePkg := (*types.Package)(nil)
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() == "time" {
+			timePkg = imp
+		}
+	}
+	if timePkg == nil {
+		t.Fatal("fixture does not import time")
+	}
+	now, _ := timePkg.Scope().Lookup("Now").(*types.Func)
+	s := sums.Of(pass, now)
+	if s == nil {
+		t.Fatal("no seeded summary for time.Now")
+	}
+	if _, ok := s.NondetFor("time.Now"); !ok {
+		t.Errorf("seeded time.Now summary = %+v", s)
+	}
+	if sums.Of(pass, nil) != nil {
+		t.Error("Of(nil) should be nil")
+	}
+}

@@ -1,0 +1,159 @@
+// Package sums is the summary test fixture.
+package sums
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ---- nondeterminism sources -------------------------------------------
+
+// Clock reads the wall clock directly.
+func Clock() int64 { return time.Now().UnixNano() }
+
+// Roll draws from the global math/rand source.
+func Roll() int { return rand.Intn(6) }
+
+// SeededRoll uses an explicitly seeded source: deterministic.
+func SeededRoll(seed int64) int { return rand.New(rand.NewSource(seed)).Intn(6) }
+
+// ViaOne reaches time.Now through one frame.
+func ViaOne() int64 { return Clock() }
+
+// ViaTwo reaches time.Now through two frames.
+func ViaTwo() int64 { return ViaOne() }
+
+// MapEmit ranges a map appending per-iteration: order feeds output.
+func MapEmit(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// MapSorted collects then sorts: the conventional deterministic pattern.
+func MapSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MapReduce folds a map without emitting per-iteration order.
+func MapReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Race selects between two channels: scheduler-dependent arm order.
+func Race(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// ---- blocking ----------------------------------------------------------
+
+// Recv blocks on a channel receive.
+func Recv(ch chan int) int { return <-ch }
+
+// RecvVia blocks transitively.
+func RecvVia(ch chan int) int { return Recv(ch) }
+
+// Spawn launches the blocking work on another goroutine: the caller never
+// blocks.
+func Spawn(ch chan int) {
+	go func() { <-ch }()
+}
+
+// Poll uses a select with default: never blocks.
+func Poll(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// ---- recursion / SCC convergence ---------------------------------------
+
+// PingNondet and PongNondet are mutually recursive; Pong bottoms out in the
+// clock, so both must converge to the time.Now source.
+func PingNondet(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return PongNondet(n - 1)
+}
+
+func PongNondet(n int) int64 {
+	if n == 1 {
+		return Clock()
+	}
+	return PingNondet(n - 1)
+}
+
+// SelfClean recurses directly with no sources: the fixpoint must terminate
+// with an empty summary.
+func SelfClean(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return SelfClean(n - 1)
+}
+
+// ---- parameter ops -----------------------------------------------------
+
+// SendTo sends on its parameter.
+func SendTo(ch chan int, v int) { ch <- v }
+
+// CloseIt closes its parameter.
+func CloseIt(ch chan int) { close(ch) }
+
+// DrainVia receives from its parameter through a helper.
+func DrainVia(ch chan int) int { return Recv(ch) }
+
+var sink chan int
+
+// Leak stores its parameter in a global: escape.
+func Leak(ch chan int) { sink = ch }
+
+// Hand returns its parameter: escape.
+func Hand(ch chan int) chan int { return ch }
+
+// Capture hands its parameter to a goroutine closure: escape.
+func Capture(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// Opaque passes its parameter through a function value: the analysis loses
+// track, so the parameter escapes.
+func Opaque(ch chan int, f func(chan int)) { f(ch) }
+
+// ---- interface dispatch ------------------------------------------------
+
+// Ticker has two implementations: narrow dispatch, CHA applies.
+type Ticker interface{ Tick() int64 }
+
+type WallTicker struct{}
+
+func (WallTicker) Tick() int64 { return time.Now().UnixNano() }
+
+type FixedTicker struct{ V int64 }
+
+func (f FixedTicker) Tick() int64 { return f.V }
+
+// UseTicker dispatches through the narrow interface: the wall-clock
+// implementation taints it.
+func UseTicker(t Ticker) int64 { return t.Tick() }

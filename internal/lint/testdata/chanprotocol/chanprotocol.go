@@ -1,0 +1,134 @@
+// Package chanprotocol is the golden fixture for the chanprotocol
+// analyzer: double-close, close-by-receiver, and WaitGroup.Add placement.
+package chanprotocol
+
+import "sync"
+
+func shutdown(ch chan int) { close(ch) }
+
+func shutdownDeep(ch chan int) { shutdown(ch) }
+
+// DoubleClose closes the same channel twice on a straight-line path.
+func DoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `ch may already be closed`
+}
+
+// BranchClose: the branch path closes first, so the unconditional close
+// below may be the second.
+func BranchClose(cond bool) {
+	ch := make(chan int)
+	if cond {
+		close(ch)
+	}
+	close(ch) // want `ch may already be closed`
+}
+
+// HelperClose: the helper closes its parameter — closing again panics.
+func HelperClose() {
+	ch := make(chan int)
+	close(ch)
+	shutdown(ch) // want `ch may already be closed`
+}
+
+// DeepClose: the first close happens two frames down via shutdownDeep.
+func DeepClose() {
+	ch := make(chan int)
+	shutdownDeep(ch)
+	shutdown(ch) // want `ch may already be closed`
+}
+
+// LoopClose: the close reaches itself along the loop's back edge.
+func LoopClose(n int) {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		close(ch) // want `ch may already be closed`
+	}
+}
+
+// RemakeOK: re-making the channel resets its protocol state.
+func RemakeOK(n int) {
+	var ch chan int
+	for i := 0; i < n; i++ {
+		ch = make(chan int)
+		close(ch)
+	}
+}
+
+// EitherOK: exclusive branches each close once.
+func EitherOK(cond bool) {
+	ch := make(chan int)
+	if cond {
+		close(ch)
+	} else {
+		close(ch)
+	}
+}
+
+// ReceiverClose: the consumer closes a channel the producer may still be
+// sending on.
+func ReceiverClose(ch chan int) {
+	<-ch
+	close(ch) // want `ch is closed by its receiver: only the sending side may close a channel`
+}
+
+// RangeClose: draining by range then closing is the same mistake.
+func RangeClose(ch chan int) {
+	for range ch {
+	}
+	close(ch) // want `ch is closed by its receiver: only the sending side may close a channel`
+}
+
+// ProducerOK: the sending side closing is the correct shutdown protocol.
+func ProducerOK(ch chan int) {
+	ch <- 1
+	close(ch)
+}
+
+// ConsumeOK: the producer literal sends and closes; the enclosing scope's
+// sends (anywhere in the body) count as ownership.
+func ConsumeOK() int {
+	ch := make(chan int, 4)
+	go func() {
+		for i := 0; i < 4; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// AddInside: Add in the counted goroutine races Wait.
+func AddInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `WaitGroup\.Add inside the goroutine it counts races Wait`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// AddOutside: Add on the launching side, before the go statement.
+func AddOutside() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// LocalAddOK: a WaitGroup declared inside the literal is its own.
+func LocalAddOK() {
+	go func() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { wg.Done() }()
+		wg.Wait()
+	}()
+}

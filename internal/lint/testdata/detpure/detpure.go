@@ -1,0 +1,90 @@
+// Package detpure is the golden fixture for the detpure analyzer: functions
+// annotated //meda:deterministic must not reach nondeterminism sources.
+package detpure
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+//meda:deterministic
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `Stamp is marked //meda:deterministic but reaches time\.Now`
+}
+
+//meda:deterministic
+func Pick(n int) int {
+	return rand.Intn(n) // want `Pick is marked //meda:deterministic but reaches math/rand\.Intn`
+}
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func jitter() int64 { return stamp() + 1 }
+
+// Key reaches the wall clock two frames down; the diagnostic carries the
+// witness chain.
+//
+//meda:deterministic
+func Key(seed int64) int64 {
+	return seed ^ jitter() // want `Key is marked //meda:deterministic but reaches time\.Now via jitter → stamp`
+}
+
+//meda:deterministic
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `Keys is marked //meda:deterministic but reaches map iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+//meda:deterministic
+func Merge(a, b <-chan int) int {
+	select { // want `Merge is marked //meda:deterministic but reaches select arm order`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+type Clocked struct{ base int64 }
+
+//meda:deterministic
+func (c Clocked) Offset() int64 {
+	return c.base + time.Now().Unix() // want `Offset is marked //meda:deterministic but reaches time\.Now`
+}
+
+// SeededPick draws from an explicitly seeded source: deterministic by
+// construction, not a finding.
+//
+//meda:deterministic
+func SeededPick(r *rand.Rand, n int) int { return r.Intn(n) }
+
+// SortedKeys ranges over a map but sorts before the order can be observed.
+//
+//meda:deterministic
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reduce folds a map order-insensitively: no emission, no finding.
+//
+//meda:deterministic
+func Reduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// FreeClock is nondeterministic but makes no contract: detpure only
+// enforces declared determinism.
+func FreeClock() int64 { return time.Now().UnixNano() }

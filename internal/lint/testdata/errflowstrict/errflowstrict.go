@@ -1,0 +1,61 @@
+// Package errflowstrict is the golden fixture for the strict dropped-error
+// analyzer used to audit command mains.
+package errflowstrict
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func value() int { return 0 }
+
+func Drop() {
+	fallible() // want `error result of errflowstrict\.fallible is discarded`
+}
+
+func DropFile(f *os.File) {
+	f.Close() // want `error result of File\.Close is discarded`
+}
+
+func BlankSingle() {
+	_ = fallible() // want `error result of errflowstrict\.fallible is discarded into _`
+}
+
+func BlankTuple() {
+	n, _ := pair() // want `error result of errflowstrict\.pair is discarded into _`
+	_ = n
+}
+
+func HandledOK() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	n, err := pair()
+	_ = n
+	return err
+}
+
+func DeferredOK(f *os.File) {
+	defer f.Close()
+}
+
+func PrintOK(w *os.File) {
+	fmt.Println("status")
+	fmt.Fprintf(w, "detail\n")
+}
+
+func SinkOK(sb *strings.Builder, buf *bytes.Buffer) {
+	sb.WriteString("a")
+	buf.WriteByte('b')
+}
+
+func PlainOK() {
+	value()
+	_ = value()
+}

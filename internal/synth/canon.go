@@ -146,6 +146,8 @@ func (t Transform) InvertPolicy(p Policy) Policy {
 // for only treating two jobs as equivalent when the force field over their
 // windows is uniform (chip.UniformHealth); canonicalization itself is pure
 // geometry.
+//
+//meda:deterministic
 func Canonicalize(rj route.RJ) (route.RJ, Transform) {
 	base := Transform{X0: rj.Hazard.XA, Y0: rj.Hazard.YA, W: rj.Hazard.Width(), H: rj.Hazard.Height()}
 	var best route.RJ
