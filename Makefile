@@ -68,13 +68,16 @@ fuzz:
 	$(GO) test ./internal/spec/ -run '^$$' -fuzz '^FuzzQueryString$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dsl/ -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dsl/ -run '^$$' -fuzz '^FuzzParseStability$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim/ -run '^$$' -fuzz '^FuzzHazardZones$$' -fuzztime $(FUZZTIME)
 
 # One deterministic fault-injection trial per evaluation assay: 5% mixed
 # fault rate, all fault classes, asserting hazard-free completion and
-# bounded completion-time inflation. CI's cover-fuzz job runs this; the
-# nightly workflow runs the full three-trial sweep.
+# bounded completion-time inflation — once on the sequential executor, once
+# on the concurrent one. CI's cover-fuzz job runs this; the nightly workflow
+# runs the full three-trial sweep.
 faulttrial:
 	$(GO) run ./cmd/medafuzz -trials 1 -seed 2021 -rate 0.05 -kinds all
+	$(GO) run ./cmd/medafuzz -trials 1 -seed 2021 -rate 0.05 -kinds all -concurrent
 
 # Tier-1 verification plus the race detector and the static checkers.
 verify: build vet fmtcheck test race lint models assert cover

@@ -6,10 +6,12 @@
 // The suite covers the synthesis hot path of Table V (model construction +
 // value iteration), cold vs pooled-arena model construction, the solver
 // comparison (gauss-seidel, jacobi seq/par, prioritized), the cold-vs-warm
-// strategy cache for re-synthesis, and the D4-canonical cache serving a whole
-// symmetry class of jobs from one synthesis. Derived ratios
+// strategy cache for re-synthesis, the D4-canonical cache serving a whole
+// symmetry class of jobs from one synthesis, and the sequential-vs-concurrent
+// assay executor on a contention-heavy generated workload. Derived ratios
 // (parallel_speedup, warm_cache_speedup, pooled_construction_speedup,
-// canonicalization_hit_rate) are computed from the same runs.
+// canonicalization_hit_rate, concurrent_cycle_reduction) are computed from
+// the same runs.
 package main
 
 import (
@@ -22,11 +24,14 @@ import (
 	"time"
 
 	"meda"
+	"meda/internal/assay"
 	"meda/internal/chip"
 	"meda/internal/degrade"
 	"meda/internal/mdp"
 	"meda/internal/randx"
+	"meda/internal/route"
 	"meda/internal/sched"
+	"meda/internal/sim"
 	"meda/internal/smg"
 	"meda/internal/synth"
 	"meda/internal/telemetry"
@@ -268,6 +273,61 @@ func main() {
 		}
 	})
 
+	// Assay execution: sequential (one hazard zone at a time) vs concurrent
+	// (all ready operations at once) on a contention-heavy generated mixture —
+	// three paper protocols concatenated onto shifted regions of one 60×30
+	// chip, so their droplets compete for reservoirs, modules, and corridor
+	// space. Cycle counts are deterministic for a fixed seed, so the derived
+	// ratio records the assay-level makespan reduction concurrency buys; the
+	// benchmark rows track each executor's wall-clock cost per execution.
+	mix := assay.Mixture(15, assay.Layout{W: 60, H: 30}, 16, 3)
+	mixPlan, err := route.Compile(mix, 60, 30)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medabench: %v\n", err)
+		os.Exit(1)
+	}
+	runExec := func(concurrent bool) (sim.Execution, error) {
+		// Near-immortal microelectrodes isolate executor scheduling from wear.
+		ecfg := chip.Default()
+		ecfg.Normal = degrade.ParamRange{Tau1: 0.99, Tau2: 0.999, C1: 5000, C2: 10000}
+		src := randx.New(15)
+		ec, err := chip.New(ecfg, src.Split("chip"))
+		if err != nil {
+			return sim.Execution{}, err
+		}
+		scfg := sim.DefaultConfig()
+		scfg.KMax = 8000
+		scfg.Concurrent = concurrent
+		return sim.NewRunner(scfg, ec, sched.NewBaseline(), src.Split("sim")).Execute(mixPlan)
+	}
+	seqExec, err := runExec(false)
+	if err == nil && !seqExec.Success {
+		err = fmt.Errorf("sequential execution of %s aborted after %d cycles", mix.Name, seqExec.Cycles)
+	}
+	var conExec sim.Execution
+	if err == nil {
+		conExec, err = runExec(true)
+	}
+	if err == nil && !conExec.Success {
+		err = fmt.Errorf("concurrent execution of %s aborted after %d cycles", mix.Name, conExec.Cycles)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medabench: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Derived["concurrent_cycle_reduction"] = float64(seqExec.Cycles) / float64(conExec.Cycles)
+	execBench := func(concurrent bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runExec(concurrent); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	record(rep, "executor/sequential", execBench(false))
+	record(rep, "executor/concurrent", execBench(true))
+
 	rep.Telemetry = telemetry.Default().Snapshot()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
@@ -284,5 +344,7 @@ func main() {
 	fmt.Printf("pooled construction speedup:         %.2fx\n", rep.Derived["pooled_construction_speedup"])
 	fmt.Printf("canonicalization hit rate:           %.1f%% (%.0f jobs per synthesis)\n",
 		100*rep.Derived["canonicalization_hit_rate"], rep.Derived["canonicalization_jobs_per_synthesis"])
+	fmt.Printf("concurrent cycle reduction:          %.2fx (%d → %d cycles on %s)\n",
+		rep.Derived["concurrent_cycle_reduction"], seqExec.Cycles, conExec.Cycles, mix.Name)
 	fmt.Printf("wrote %s\n", *out)
 }

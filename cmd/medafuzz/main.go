@@ -34,6 +34,7 @@ func main() {
 	kinds := flag.String("kinds", "all", "fault classes: comma list of act, sense, ctl (or all, none)")
 	inflation := flag.Float64("inflation", 3, "max faulted/clean completion-time ratio")
 	kmax := flag.Int("kmax", 0, "cycle budget override (0 = simulator default)")
+	concurrent := flag.Bool("concurrent", false, "run trials on the concurrent executor")
 	assayName := flag.String("assay", "", "run a single benchmark instead of the six-assay suite")
 	verbose := flag.Bool("v", false, "log each trial")
 	flag.Parse()
@@ -50,6 +51,7 @@ func main() {
 	cfg.Kinds = k
 	cfg.Inflation = *inflation
 	cfg.KMax = *kmax
+	cfg.Concurrent = *concurrent
 	if *assayName != "" {
 		bench, ok := benchmarks[*assayName]
 		if !ok {

@@ -42,6 +42,7 @@ func main() {
 	injectKinds := flag.String("inject-kinds", "all", "soft-fault classes: comma list of act, sense, ctl (or all, none)")
 	injectSeed := flag.Uint64("inject-seed", 0, "soft-fault seed (0 = simulation seed)")
 	file := flag.String("file", "", "run a custom assay from a .assay description file instead of a named benchmark")
+	concurrent := flag.Bool("concurrent", false, "route all ready operations concurrently instead of one hazard zone at a time")
 	workers := flag.Int("workers", 0, "background synthesis workers for the adaptive router (0 = GOMAXPROCS, negative = synchronous routing)")
 	cacheSize := flag.Int("cache", -1, "strategy-cache bound for the adaptive router (0 disables, negative = default)")
 	traceFile := flag.String("trace", "", "write telemetry spans as JSONL to this file")
@@ -150,6 +151,7 @@ func main() {
 		}
 		simCfg := meda.DefaultSimConfig()
 		simCfg.KMax = *kmax
+		simCfg.Concurrent = *concurrent
 		if *inject > 0 {
 			fseed := *injectSeed
 			if fseed == 0 {
@@ -175,6 +177,10 @@ func main() {
 			if *inject > 0 {
 				fmt.Printf("          divergences %d, degraded jobs %d, hazard violations %d\n",
 					exec.Divergences, exec.DegradedJobs, exec.HazardViolations)
+			}
+			if *concurrent {
+				fmt.Printf("          peak droplets %d, deadlocks %d, serialized %d, dispense deferrals %d\n",
+					exec.PeakDroplets, exec.Deadlocks, exec.SerializedOps, exec.DispenseDeferrals)
 			}
 			if !exec.Success {
 				fmt.Printf("  chip too degraded to continue\n")

@@ -225,12 +225,21 @@ func (b *builder) assay() *Assay { return &Assay{Name: b.name, MOs: b.mos} }
 // the interior.
 type Layout struct {
 	W, H int
+	// ResOff, PortOff and ModOff rotate the reservoir, port and module
+	// indexing (Reservoir(i) behaves like the zero layout's
+	// Reservoir(i+ResOff), and so on). The zero offsets reproduce the
+	// canonical placement; the random-workload generator (Mixture) offsets
+	// each sub-assay differently so concurrent protocols spread over — and
+	// contend for — the same physical sites instead of stacking onto
+	// identical ones.
+	ResOff, PortOff, ModOff int
 }
 
 // Reservoir returns the center of the i-th dispense site; sites alternate
 // between the south and north edges (cf. the two dispense ports of Fig. 12)
 // and walk eastward, staying clear of the interior module band.
 func (l Layout) Reservoir(i int) Point {
+	i += l.ResOff
 	x := 2.5 + 6*float64(i/2%max(1, (l.W-10)/6))
 	if i%2 == 0 {
 		return Point{X: x, Y: 2.5}
@@ -243,7 +252,7 @@ func (l Layout) Reservoir(i int) Point {
 // the south-east and north-east corners), so exiting droplets drop out of
 // the band and travel east without crossing active modules.
 func (l Layout) Port(i int) Point {
-	if i%2 == 0 {
+	if (i+l.PortOff)%2 == 0 {
 		return Point{X: float64(l.W) - 1.5, Y: 5.5}
 	}
 	return Point{X: float64(l.W) - 1.5, Y: float64(l.H) - 4.5}
@@ -254,6 +263,7 @@ func (l Layout) Port(i int) Point {
 // the edge reservoirs, so droplets resting at a module never obstruct a
 // dispense area — the separation a real placement tool guarantees.
 func (l Layout) Module(i int) Point {
+	i += l.ModOff
 	cols := max(1, (l.W-10)/8)
 	c := i % cols
 	r := (i / cols) % 2

@@ -1,0 +1,62 @@
+// Randomized workload generator for the concurrent-executor evaluation. A
+// Mixture assay concatenates several independent benchmark protocols into one
+// sequencing graph, offsetting each sub-protocol's reservoir/port/module
+// indexing so the sub-protocols spread over — and contend for — the shared
+// physical sites. Because the sub-protocols have no data dependencies between
+// them, a sequential executor (one operation at a time) leaves almost all of
+// the available parallelism on the table, which is exactly the workload shape
+// the concurrent executor is built for.
+package assay
+
+import (
+	"fmt"
+
+	"meda/internal/randx"
+)
+
+// mixturePool is the draw pool for Mixture sub-protocols: the six evaluation
+// bioassays of Sec. VII plus the three degradation-study bioassays of
+// Sec. III-C.
+var mixturePool = append(append([]Benchmark{}, EvaluationBenchmarks...), CorrelationBenchmarks...)
+
+// Mixture generates a random composite assay: n sub-protocols drawn (with
+// replacement) from the nine paper bioassays, each built at the given droplet
+// area on a differently-offset copy of the layout, concatenated into one
+// sequencing graph. The result is deterministic in (seed, l, area, n) —
+// draws come from labeled randx splits — and always satisfies Validate,
+// since each sub-graph is valid and ID/Pre re-basing preserves topological
+// order.
+func Mixture(seed uint64, l Layout, area, n int) *Assay {
+	if n < 1 {
+		n = 1
+	}
+	src := randx.New(seed).Split("assay.mixture")
+	out := &Assay{Name: fmt.Sprintf("Mixture-%d[%d]", seed, n)}
+	for i := 0; i < n; i++ {
+		pick := src.SplitN("pick", i)
+		bench := mixturePool[pick.IntN(len(mixturePool))]
+		// Offset each sub-protocol's site indexing so independent
+		// sub-protocols land on overlapping-but-shifted reservoir, port and
+		// module sets: enough sharing to create contention, enough spread to
+		// keep the composite routable.
+		sub := Layout{
+			W: l.W, H: l.H,
+			ResOff:  l.ResOff + pick.IntN(4),
+			PortOff: l.PortOff + pick.IntN(2),
+			ModOff:  l.ModOff + pick.IntN(max(1, l.ModuleSlots())),
+		}
+		base := len(out.MOs)
+		for _, mo := range bench.Build(sub, area).MOs {
+			mo.ID += base
+			if len(mo.Pre) > 0 {
+				pre := make([]int, len(mo.Pre))
+				for j, p := range mo.Pre {
+					pre[j] = p + base
+				}
+				mo.Pre = pre
+			}
+			out.MOs = append(out.MOs, mo)
+		}
+	}
+	return out
+}

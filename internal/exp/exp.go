@@ -47,6 +47,18 @@ func SetRouterConfig(workers, cacheSize int) {
 	routerCacheSize = cacheSize
 }
 
+// Concurrent-executor selection for the drivers, set once from command-line
+// flags before any experiment runs.
+var concurrentExec bool
+
+// SetConcurrent makes every subsequent experiment driver execute assays on
+// the concurrent executor (all ready operations routed at once) instead of
+// the sequential one-hazard-zone-at-a-time path. Call before running any
+// driver.
+func SetConcurrent(on bool) {
+	concurrentExec = on
+}
+
 // Soft-fault injection for the drivers, set once from command-line flags
 // before any experiment runs. The zero plan disables injection.
 var faultPlan fault.Plan
@@ -64,6 +76,7 @@ func SetFaultInjection(p fault.Plan) {
 // defaults, plus the configured soft-fault plan when injection is enabled.
 func baseSimConfig() sim.Config {
 	cfg := sim.DefaultConfig()
+	cfg.Concurrent = concurrentExec
 	if faultPlan.Enabled() {
 		cfg = cfg.WithFaults(faultPlan)
 	}

@@ -221,13 +221,18 @@ type Adaptive struct {
 	// Syntheses counts synchronous online synthesis runs (library misses
 	// and uncached degraded regions); LibraryUses counts strategies served
 	// from the library; CacheHits counts strategies served from Cache
-	// (including ones a prefetch worker put there).
+	// (including ones a prefetch worker put there). Increments are guarded
+	// by mu — the concurrent executor may route several jobs at once — but
+	// reads are plain field access: sample them only after routing has
+	// quiesced.
 	Syntheses   int
 	LibraryUses int
 	CacheHits   int
 
 	mu sync.Mutex
-	// pending maps in-flight prefetches to their completion signal.
+	// pending maps in-flight syntheses — background prefetches and
+	// synchronous Route leaders alike — to their completion signal, so
+	// concurrent requests for the same key coalesce into one synthesis.
 	pending map[CacheKey]chan struct{}
 	// prefetchSyntheses counts background syntheses; guarded by mu because
 	// pool workers increment it.
@@ -310,12 +315,39 @@ func (a *Adaptive) Name() string { return "adaptive" }
 // HealthAware implements Router.
 func (a *Adaptive) HealthAware() bool { return true }
 
-// pendingFor returns the completion signal of an in-flight prefetch for
-// key, or nil when none is running.
-func (a *Adaptive) pendingFor(key CacheKey) chan struct{} {
+// bump increments one of the exported effectiveness counters under mu.
+func (a *Adaptive) bump(counter *int) {
+	a.mu.Lock()
+	*counter++
+	a.mu.Unlock()
+}
+
+// claim registers this caller as the synthesizer for key. When another
+// synthesis (a prefetch worker or a concurrent Route) is already in flight,
+// it returns that synthesis's completion signal and leader=false; the caller
+// should wait and re-check its cache. The leader must call release exactly
+// once, on every exit path.
+func (a *Adaptive) claim(key CacheKey) (done chan struct{}, leader bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.pending[key]
+	if d := a.pending[key]; d != nil {
+		return d, false
+	}
+	if a.pending == nil {
+		a.pending = make(map[CacheKey]chan struct{})
+	}
+	d := make(chan struct{})
+	a.pending[key] = d
+	return d, true
+}
+
+// release ends a claim: the key accepts new synthesizers and every waiter
+// wakes to re-check the cache.
+func (a *Adaptive) release(key CacheKey, done chan struct{}) {
+	a.mu.Lock()
+	delete(a.pending, key)
+	a.mu.Unlock()
+	close(done)
 }
 
 // Route implements Router: library fast path on fully healthy, unobstructed
@@ -327,18 +359,30 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 	top := 1<<uint(c.HealthBits()) - 1
 	healthy := len(obstacles) == 0 && c.MinHealth(rj.Hazard) == top
 	if a.Lib != nil && healthy {
-		if p, v, ok := a.Lib.Lookup(rj); ok {
-			a.LibraryUses++
-			return p, v, nil
-		}
 		key := NewCacheKey(rj, a.Opt, c.HealthHash(rj.Hazard))
-		if done := a.pendingFor(key); done != nil {
-			<-done
+		// Single-flight with a double check: wait out any in-flight synthesis
+		// for this key, and after winning the claim re-check the library once
+		// more (a previous leader may have stored between our miss and our
+		// claim) before synthesizing.
+		var done chan struct{}
+		for {
 			if p, v, ok := a.Lib.Lookup(rj); ok {
-				a.LibraryUses++
+				if done != nil {
+					a.release(key, done)
+				}
+				a.bump(&a.LibraryUses)
 				return p, v, nil
 			}
+			if done != nil {
+				break
+			}
+			var leader bool
+			if done, leader = a.claim(key); !leader {
+				<-done
+				done = nil
+			}
 		}
+		defer a.release(key, done)
 		if err := a.injectTimeout(key); err != nil {
 			return nil, 0, err
 		}
@@ -346,7 +390,7 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 		if err != nil {
 			return nil, 0, err
 		}
-		a.Syntheses++
+		a.bump(&a.Syntheses)
 		telOnlineSyntheses.Inc()
 		if res.Exists() && !a.poisoned(key) {
 			a.Lib.Store(rj, res.Policy, res.Value)
@@ -367,17 +411,26 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 			telRawHits.Inc()
 			return p, v, true
 		}
-		if p, v, ok := lookup(); ok {
-			a.CacheHits++
-			return p, v, nil
-		}
-		if done := a.pendingFor(key); done != nil {
-			<-done
+		// Same single-flight double check as the library path above.
+		var done chan struct{}
+		for {
 			if p, v, ok := lookup(); ok {
-				a.CacheHits++
+				if done != nil {
+					a.release(key, done)
+				}
+				a.bump(&a.CacheHits)
 				return p, v, nil
 			}
+			if done != nil {
+				break
+			}
+			var leader bool
+			if done, leader = a.claim(key); !leader {
+				<-done
+				done = nil
+			}
 		}
+		defer a.release(key, done)
 		if err := a.injectTimeout(key); err != nil {
 			return nil, 0, err
 		}
@@ -385,7 +438,7 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 		if err != nil {
 			return nil, 0, err
 		}
-		a.Syntheses++
+		a.bump(&a.Syntheses)
 		telOnlineSyntheses.Inc()
 		if res.Exists() && !a.poisoned(key) {
 			if canon {
@@ -405,7 +458,7 @@ func (a *Adaptive) Route(rj route.RJ, c *chip.Chip, obstacles []geom.Rect) (synt
 	if err != nil {
 		return nil, 0, err
 	}
-	a.Syntheses++
+	a.bump(&a.Syntheses)
 	telOnlineSyntheses.Inc()
 	return res.Policy, res.Value, nil
 }

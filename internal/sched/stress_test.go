@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -110,5 +111,60 @@ func TestConcurrentCacheStress(t *testing.T) {
 	if total := a.Syntheses + a.PrefetchSyntheses(); total <= len(jobs) {
 		t.Errorf("syntheses = %d, want > %d (health changes must force re-synthesis)",
 			total, len(jobs))
+	}
+}
+
+// TestConcurrentRouteSingleFlight: the concurrent executor may route several
+// jobs at once, so Route must be callable from multiple goroutines — the
+// effectiveness counters must not race (the -race CI step watches this test)
+// and identical concurrent requests must coalesce into exactly one synthesis
+// via the pending map, not one per caller.
+func TestConcurrentRouteSingleFlight(t *testing.T) {
+	a := NewAdaptiveParallel(4, 32)
+	rj := route.RJ{
+		Start:  rect(2, 2, 5, 5),
+		Goal:   rect(12, 8, 15, 11),
+		Hazard: rect(1, 1, 18, 14),
+	}
+	const routers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, routers)
+	for g := 0; g < routers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// chip.Chip is unsynchronized, so every router goroutine builds
+			// its own identically seeded instance; the shared state under
+			// stress is the Adaptive router itself.
+			c, err := chip.New(chip.Default(), randx.New(99))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				p, _, err := a.Route(rj, c, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(p) == 0 {
+					errs <- errors.New("Route returned an empty policy")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if a.Syntheses != 1 {
+		t.Errorf("%d routers × %d rounds ran %d syntheses, want exactly 1 (single-flight)",
+			routers, rounds, a.Syntheses)
+	}
+	if want := routers*rounds - 1; a.LibraryUses != want {
+		t.Errorf("library served %d routes, want %d", a.LibraryUses, want)
 	}
 }

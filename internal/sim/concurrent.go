@@ -1,0 +1,360 @@
+// Concurrent assay execution. The default executor treats every operation's
+// hazard zones as exclusive resources (canReserve in sim.go): two operations
+// whose zones overlap never run at the same time, which is safe but
+// serializes most of a contended assay. The concurrent executor keeps every
+// ready operation running at once and moves the safety argument down a
+// level: activation only requires goal-site exclusivity, the per-move
+// fluidic constraints (constraint.go) keep concurrent droplets separated
+// cycle by cycle, reservoir contention is arbitrated by waiting age, and the
+// residual failure mode — droplets wedged in a wait-for cycle none of the
+// per-droplet escapes (re-route, sidestep) can dissolve — is detected on the
+// wait-for graph and recovered by forced serialization: the victim operation
+// is rolled back and deferred behind its rivals, exactly as if the scheduler
+// had never overlapped them.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"meda/internal/assay"
+	"meda/internal/route"
+)
+
+const (
+	// deadlockPatience is the stall age (cycles since the droplet last
+	// moved) before a droplet may be declared part of a deadlock —
+	// comfortably past the re-route (blockedStreakLimit) and sidestep (2×)
+	// escalations, so the cheap per-droplet escapes get their chance first.
+	deadlockPatience = 12
+	// chainPatience is the longer stall age at which a droplet wedged
+	// behind a quasi-static droplet, with no route around it, is serialized
+	// even without a wait-for cycle.
+	chainPatience = 3 * deadlockPatience
+	// serializeDefer is the timed deferral window of a serialized victim:
+	// it may not re-activate until its rivals finish or the window expires.
+	serializeDefer = 150
+	// widenStep/widenMax bound the adaptive synthesis-window inflation of
+	// jobs whose goal is unreachable past foreign droplets (jobRT.widen):
+	// each failed re-synthesis widens the window by widenStep cells, up to
+	// widenMax, after which only deadlock recovery can dissolve the jam.
+	widenStep = 3
+	widenMax  = 15
+)
+
+// concurrentState is the per-execution bookkeeping of the concurrent
+// executor. Slices are indexed by operation id and survive rollbacks (a
+// rolled-back operation keeps its yield count — that is what priority aging
+// means).
+type concurrentState struct {
+	// waits is this cycle's wait-for graph: waits[d] is the droplet that d
+	// could not move because of (collision block, unroutable hazard, or a
+	// merge partner d is parked waiting for).
+	waits map[*dropletRT]*dropletRT
+	// yields[id] counts how many times operation id was the serialization
+	// victim; the fewest-yields operation is victimized next, so a repeat
+	// loser ages into priority.
+	yields []int
+	// deferUntil[id] / deferRivals[id] gate a serialized victim's
+	// re-activation: not before the cycle deferUntil, unless every rival
+	// listed is already done.
+	deferUntil  []int
+	deferRivals [][]int
+	// spawnWait[id] counts consecutive cycles a pending dispense was
+	// deferred; the arbiter serves longest-waiting first.
+	spawnWait []int
+}
+
+func newConcurrentState(n int) *concurrentState {
+	return &concurrentState{
+		waits:       make(map[*dropletRT]*dropletRT),
+		yields:      make([]int, n),
+		deferUntil:  make([]int, n),
+		deferRivals: make([][]int, n),
+		spawnWait:   make([]int, n),
+	}
+}
+
+func (cs *concurrentState) resetWaits() {
+	for d := range cs.waits {
+		delete(cs.waits, d)
+	}
+}
+
+// mayActivate gates a serialized victim's re-activation: not before its
+// deferral window expires, unless every recorded rival has finished. A victim
+// with no recorded rivals waits out the full window.
+func (cs *concurrentState) mayActivate(id, k int, mos []*moRT) bool {
+	if k >= cs.deferUntil[id] {
+		return true
+	}
+	if len(cs.deferRivals[id]) == 0 {
+		return false
+	}
+	for _, rid := range cs.deferRivals[id] {
+		if mos[rid].state != moDone {
+			return false
+		}
+	}
+	return true
+}
+
+// observeCycle feeds the per-timestamp concurrency telemetry.
+func (cs *concurrentState) observeCycle(droplets int) {
+	telConcurrentDroplets.Set(float64(droplets))
+	telDropletsPerCycle.Observe(float64(droplets))
+}
+
+// canActivateConcurrent is the concurrent executor's activation rule,
+// relaxing canReserve's whole-hazard-zone exclusivity to goal-site
+// exclusivity: a ready operation activates unless one of its goal zones
+// conflicts with an active operation's goal zone (two droplets steered into
+// overlapping destinations could never separate again) or with a foreign
+// resting droplet it does not claim (the route could never complete while
+// that droplet rests there). Everything short of the goals — crossing
+// corridors, shared hazard windows — is left to the per-move fluidic
+// constraints, re-routing, and deadlock recovery. Because every resting
+// droplet lies inside some producer's goal zone, this rule also maintains
+// the invariant that resting outputs stay clear of active goals.
+func (r *Runner) canActivateConcurrent(id int, mos []*moRT, droplets []*dropletRT, mine map[*dropletRT]bool) bool {
+	margin := r.Cfg.CollisionMargin
+	for _, j := range mos[id].jobs {
+		for oid, om := range mos {
+			if oid == id || om.state != moActive {
+				continue
+			}
+			for _, oj := range om.jobs {
+				if zoneConflict(j.rj.Goal, oj.rj.Goal, margin) {
+					return false
+				}
+			}
+		}
+		for _, d := range droplets {
+			if d.mo == -1 && !mine[d] && zoneConflict(j.rj.Goal, d.rect, margin) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// arbitrateSpawns resolves reservoir contention among pending dispenses:
+// candidates are served longest-waiting first (ties in activation order), so
+// a dispense whose shared entry area keeps being claimed by siblings cannot
+// starve behind them.
+func (r *Runner) arbitrateSpawns(cs *concurrentState, mos []*moRT, k int, droplets *[]*dropletRT, exec *Execution) {
+	var pending []int
+	for id, m := range mos {
+		if m.state == moActive && m.cm.MO.Type == assay.Dis && m.jobs[0].droplet == nil {
+			pending = append(pending, id)
+		}
+	}
+	sort.SliceStable(pending, func(i, j int) bool {
+		return cs.spawnWait[pending[i]] > cs.spawnWait[pending[j]]
+	})
+	for _, id := range pending {
+		m := mos[id]
+		r.trySpawn(m, id, k, droplets)
+		if m.jobs[0].droplet == nil {
+			cs.spawnWait[id]++
+			exec.DispenseDeferrals++
+			telSpawnDeferrals.Inc()
+		} else {
+			cs.spawnWait[id] = 0
+		}
+	}
+}
+
+// unroutableBlocker picks the droplet most plausibly wedging an off-policy
+// or unroutable job: the first foreign droplet inside the job's hazard
+// window, preferring quasi-static ones. Used only to grow the wait-for
+// graph; the per-droplet escapes keep working regardless.
+func unroutableBlocker(d *dropletRT, droplets []*dropletRT) *dropletRT {
+	var fallback *dropletRT
+	zone := d.job.rj.Hazard
+	for _, q := range droplets {
+		if q == d || q.mo == d.mo || !zone.Overlaps(q.rect) {
+			continue
+		}
+		if q.quasiStatic() {
+			return q
+		}
+		if fallback == nil {
+			fallback = q
+		}
+	}
+	return fallback
+}
+
+// detectDeadlocks inspects this cycle's wait-for graph for droplets that
+// have been stalled past patience in a cycle (A waits on B waits on … waits
+// on A) or wedged behind a quasi-static droplet with no way around, and
+// recovers by serializing a victim. Reports whether a recovery happened
+// (at most one per cycle; the graph is recomputed next cycle).
+func (r *Runner) detectDeadlocks(cs *concurrentState, mos []*moRT, plan *route.Plan,
+	outputs map[outputKey]*dropletRT, droplets *[]*dropletRT, k int, exec *Execution) bool {
+	// Rendezvous edges: a droplet parked in a merge goal waits for its
+	// partner, so a jam wedging the partner behind another operation is
+	// detected as the cross-operation cycle it really is.
+	for _, m := range mos {
+		if m.state != moActive {
+			continue
+		}
+		t := m.cm.MO.Type
+		if t != assay.Mix && !(t == assay.Dlt && m.phase == 0) {
+			continue
+		}
+		d0, d1 := m.jobs[0].droplet, m.jobs[1].droplet
+		if d0 == nil || d1 == nil || (m.jobs[0].done && m.jobs[1].done) {
+			continue
+		}
+		if _, busy := cs.waits[d0]; !busy && d0.quasiStatic() {
+			cs.waits[d0] = d1
+		}
+		if _, busy := cs.waits[d1]; !busy && d1.quasiStatic() {
+			cs.waits[d1] = d0
+		}
+	}
+
+	stuck := func(d *dropletRT) bool {
+		return d.mo >= 0 && k-d.lastMove >= deadlockPatience
+	}
+	// Cycle pass: walk the wait-for chain from every stuck droplet; a chain
+	// that bites its own tail through stuck droplets only is a deadlock.
+	for _, d := range *droplets {
+		if !stuck(d) || cs.waits[d] == nil {
+			continue
+		}
+		seen := map[*dropletRT]int{}
+		var chain []*dropletRT
+		cur := d
+		for cur != nil && stuck(cur) {
+			if at, ok := seen[cur]; ok {
+				if r.serializeCycle(cs, mos, plan, outputs, droplets, chain[at:], k, exec) {
+					return true
+				}
+				break
+			}
+			seen[cur] = len(chain)
+			chain = append(chain, cur)
+			cur = cs.waits[cur]
+		}
+	}
+	// Chain pass: a droplet wedged far past patience behind a quasi-static
+	// foreign droplet (a resting output or a detained hold it cannot route
+	// around) yields to whatever operation will eventually move the blocker.
+	for _, d := range *droplets {
+		b := cs.waits[d]
+		if d.mo < 0 || b == nil || k-d.lastMove < chainPatience {
+			continue
+		}
+		if b.mo == d.mo || !b.quasiStatic() {
+			continue
+		}
+		var rivals []int
+		if b.mo >= 0 {
+			rivals = append(rivals, b.mo)
+		} else if c := consumerOfOutput(plan, outputs, b); c >= 0 {
+			rivals = append(rivals, c)
+		}
+		if r.Debug != nil {
+			fmt.Fprintf(r.Debug, "chain-stall k=%d droplet(mo=%d rect=%v lastMove=%d) behind mo=%d rect=%v\n",
+				k, d.mo, d.rect, d.lastMove, b.mo, b.rect)
+		}
+		r.recoverDeadlock(cs, mos, plan, outputs, droplets, d.mo, rivals, k, exec)
+		return true
+	}
+	return false
+}
+
+// serializeCycle resolves one detected wait-for cycle. Among the operations
+// owning the cycle's droplets, the one with the fewest prior yields is the
+// victim (priority aging: past victims are spared next time); ties go to the
+// cheapest rollback (fewest already-started operations reset), then the
+// highest id. Reports false when the cycle spans a single operation —
+// intra-operation waits are rendezvous choreography, not routing deadlocks.
+func (r *Runner) serializeCycle(cs *concurrentState, mos []*moRT, plan *route.Plan,
+	outputs map[outputKey]*dropletRT, droplets *[]*dropletRT, cycle []*dropletRT, k int, exec *Execution) bool {
+	ops := map[int]bool{}
+	for _, d := range cycle {
+		if d.mo >= 0 {
+			ops[d.mo] = true
+		}
+	}
+	if len(ops) < 2 {
+		return false
+	}
+	ids := make([]int, 0, len(ops))
+	for id := range ops {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	victim := ids[0]
+	vCost := rollbackCost(mos, plan, victim)
+	for _, id := range ids[1:] {
+		cost := rollbackCost(mos, plan, id)
+		switch yi, yv := cs.yields[id], cs.yields[victim]; {
+		case yi < yv:
+			victim, vCost = id, cost
+		case yi == yv && cost < vCost:
+			victim, vCost = id, cost
+		case yi == yv && cost == vCost && id > victim:
+			victim, vCost = id, cost
+		}
+	}
+	rivals := make([]int, 0, len(ids)-1)
+	for _, id := range ids {
+		if id != victim {
+			rivals = append(rivals, id)
+		}
+	}
+	r.recoverDeadlock(cs, mos, plan, outputs, droplets, victim, rivals, k, exec)
+	return true
+}
+
+// recoverDeadlock performs the forced serialization: the victim operation
+// (and whatever must re-run to regenerate its droplets) is rolled back to
+// init and deferred until its rivals finish or the deferral window expires,
+// and the rivals' strategies are refreshed now that the jam dissolved.
+func (r *Runner) recoverDeadlock(cs *concurrentState, mos []*moRT, plan *route.Plan,
+	outputs map[outputKey]*dropletRT, droplets *[]*dropletRT, victim int, rivals []int, k int, exec *Execution) {
+	exec.Deadlocks++
+	telDeadlocks.Inc()
+	cs.yields[victim]++
+	if r.Debug != nil {
+		fmt.Fprintf(r.Debug, "deadlock k=%d victim=M%d(%s) rivals=%v yields=%d\n",
+			k, victim, mos[victim].cm.MO.Type, rivals, cs.yields[victim])
+	}
+	rollback(mos, plan, victim, outputs, droplets, exec)
+	exec.SerializedOps++
+	telSerializedOps.Inc()
+	cs.deferUntil[victim] = k + serializeDefer
+	cs.deferRivals[victim] = rivals
+	for _, rid := range rivals {
+		for _, j := range mos[rid].jobs {
+			if !j.done && j.droplet != nil {
+				j.obstacleDirty = true
+				j.blockedStreak = 0
+				j.extraObstacles = nil
+			}
+		}
+	}
+}
+
+// consumerOfOutput finds the operation that will eventually claim a resting
+// output droplet, or -1 when none exists.
+func consumerOfOutput(plan *route.Plan, outputs map[outputKey]*dropletRT, b *dropletRT) int {
+	for key, d := range outputs {
+		if d != b {
+			continue
+		}
+		for id := range plan.MOs {
+			for _, slot := range plan.MOs[id].InSlots {
+				if slot[0] == key.mo && slot[1] == key.slot {
+					return id
+				}
+			}
+		}
+	}
+	return -1
+}

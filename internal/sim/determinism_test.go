@@ -17,8 +17,17 @@ import (
 // through randx from the given seed, so two calls with the same arguments
 // must return identical bytes.
 func simTrace(t *testing.T, bench assay.Benchmark, seed uint64) []byte {
+	return simTraceMode(t, bench, seed, false)
+}
+
+// simTraceMode is simTrace with the executor mode selectable: concurrent
+// executions must be exactly as replayable as sequential ones — activation
+// order, spawn arbitration, deadlock detection and victim selection are all
+// deterministic in the seed.
+func simTraceMode(t *testing.T, bench assay.Benchmark, seed uint64, concurrent bool) []byte {
 	t.Helper()
 	r := newRunner(t, robustChipConfig(), sched.NewAdaptive(), seed)
+	r.Cfg.Concurrent = concurrent
 	var buf bytes.Buffer
 	r.Hook = func(k int, ps []geom.Rect) {
 		fmt.Fprintf(&buf, "%d:", k)
@@ -74,5 +83,40 @@ func TestTracingDoesNotPerturbSimulation(t *testing.T) {
 	}
 	if spans.Len() == 0 {
 		t.Error("tracer captured no spans during an instrumented execution")
+	}
+}
+
+// TestDeterministicTracesConcurrent: the concurrent executor is as
+// replayable as the sequential one — same seed, byte-identical traces across
+// all six evaluation benchmarks.
+func TestDeterministicTracesConcurrent(t *testing.T) {
+	for _, bench := range assay.EvaluationBenchmarks {
+		first := simTraceMode(t, bench, 42, true)
+		second := simTraceMode(t, bench, 42, true)
+		if !bytes.Equal(first, second) {
+			t.Errorf("%v: same seed produced different concurrent traces (%d vs %d bytes)",
+				bench, len(first), len(second))
+		}
+	}
+}
+
+// TestTracingDoesNotPerturbConcurrentSimulation: the span tracer must not
+// perturb the concurrent executor either — its extra code paths (activation
+// arbitration, deadlock recovery) observe telemetry but never consume it.
+func TestTracingDoesNotPerturbConcurrentSimulation(t *testing.T) {
+	plain := simTraceMode(t, assay.SerialDilution, 42, true)
+
+	var spans bytes.Buffer
+	tr := telemetry.NewTracer(&spans)
+	telemetry.SetTracer(tr)
+	defer telemetry.SetTracer(nil)
+	traced := simTraceMode(t, assay.SerialDilution, 42, true)
+
+	if !bytes.Equal(plain, traced) {
+		t.Errorf("tracer changed the concurrent simulation trace (%d vs %d bytes)",
+			len(plain), len(traced))
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
 	}
 }

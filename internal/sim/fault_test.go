@@ -108,6 +108,37 @@ func TestFaultTrialAcceptance(t *testing.T) {
 	}
 }
 
+// TestFaultTrialAcceptanceConcurrent runs the same sweep on the concurrent
+// executor: injected faults (all three kinds) must not let concurrently
+// routed droplets violate the fluidic constraints, every assay must still
+// complete, and fault-induced inflation stays within the same bound — now
+// measured against a concurrent clean run, so the parallelism cannot mask
+// slowdowns.
+func TestFaultTrialAcceptanceConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six-assay sweep in -short mode")
+	}
+	cfg := DefaultFaultTrialConfig()
+	cfg.Trials = 1
+	cfg.Concurrent = true
+	results, err := RunFaultTrials(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(assay.EvaluationBenchmarks) {
+		t.Fatalf("got %d results, want %d", len(results), len(assay.EvaluationBenchmarks))
+	}
+	for _, res := range results {
+		if res.Violation != "" {
+			t.Errorf("%v trial %d: %s (plan %+v)", res.Benchmark, res.Trial, res.Violation, res.Plan)
+		}
+		if res.Faulted.HazardViolations != 0 {
+			t.Errorf("%v trial %d: %d hazard violations under concurrent faulted execution",
+				res.Benchmark, res.Trial, res.Faulted.HazardViolations)
+		}
+	}
+}
+
 // TestFaultTrialViolationDetection: an absurd inflation bound must be
 // reported as a violation — the trial harness's alarm actually fires.
 func TestFaultTrialViolationDetection(t *testing.T) {

@@ -40,6 +40,10 @@ type FaultTrialConfig struct {
 	// KMax overrides the per-execution cycle budget (0 keeps
 	// DefaultConfig's).
 	KMax int
+	// Concurrent runs both the clean and faulted executions on the
+	// concurrent executor, so the inflation bound measures fault cost on
+	// top of — not instead of — operation-level parallelism.
+	Concurrent bool
 	// Router builds a fresh router per run; nil means the full
 	// graceful-degradation ladder, NewFallback(NewAdaptive(), NewBaseline()).
 	Router func() sched.Router
@@ -173,6 +177,7 @@ func runFaultTrial(cfg FaultTrialConfig, plan *route.Plan, fp fault.Plan, tsrc *
 	if cfg.KMax > 0 {
 		simCfg.KMax = cfg.KMax
 	}
+	simCfg.Concurrent = cfg.Concurrent
 	// The clean and faulted runs draw from identically labeled child
 	// sources, so they see the same chip constants and motion sampling —
 	// the only difference is the fault plan.

@@ -79,6 +79,16 @@ type Config struct {
 	// droplets of different operations must never overlap and no droplet
 	// may leave the array. Violations are counted, not fatal.
 	CheckHazards bool
+	// Concurrent enables the assay-level concurrent executor: every ready
+	// operation activates as soon as its goal sites are mutually exclusive
+	// (rather than waiting for whole-hazard-zone exclusivity), per-move
+	// fluidic constraints keep concurrent droplets apart, reservoir
+	// contention is arbitrated by waiting age, and wait-for cycles among
+	// stalled droplets trigger deadlock recovery: the victim operation is
+	// forcibly serialized behind its rivals. The default (false) keeps the
+	// conservative one-zone-at-a-time discipline, which the differential
+	// tests use as the oracle.
+	Concurrent bool
 }
 
 // WithFaults returns the configuration with a fault plan attached and the
@@ -153,6 +163,18 @@ type Execution struct {
 	// droplets of different operations overlapping, or a droplet off the
 	// array. Always 0 in a correct execution.
 	HazardViolations int
+	// Concurrent-executor observations (zero unless Config.Concurrent,
+	// except PeakDroplets which is tracked in every mode): Deadlocks counts
+	// detected wait-for cycles among stalled droplets, SerializedOps counts
+	// victim operations forcibly serialized behind their rivals (rolled
+	// back and deferred), and DispenseDeferrals counts droplet-cycles a
+	// pending dispense spent waiting its turn at a contended reservoir.
+	Deadlocks         int
+	SerializedOps     int
+	DispenseDeferrals int
+	// PeakDroplets is the maximum number of droplets simultaneously on the
+	// array at any cycle of the execution.
+	PeakDroplets int
 }
 
 // CycleHook observes each cycle's actuation patterns (used by the Fig. 3
@@ -184,6 +206,11 @@ type Runner struct {
 	// Execute; it persists across executions (stuck cells, like wear, do
 	// not heal between bioassays).
 	inj *fault.Injector
+	// cs is the concurrent executor's per-execution state, nil outside an
+	// Execute call with Cfg.Concurrent set. Held on the Runner so deferred
+	// splits and merges (progress path) can record wait-for edges for
+	// deadlock detection.
+	cs *concurrentState
 }
 
 // NewRunner assembles a simulation environment.
@@ -211,9 +238,14 @@ type jobRT struct {
 	nextTry        int
 	blockedStreak  int
 	extraObstacles []geom.Rect
-	done           bool
-	droplet        *dropletRT
-	routable       bool
+	// widen inflates the synthesis window beyond the planned hazard bounds
+	// (concurrent mode only): when the goal is unreachable because foreign
+	// droplets obstruct the planned corridor, successive re-syntheses search
+	// progressively wider windows so the route can detour around them.
+	widen    int
+	done     bool
+	droplet  *dropletRT
+	routable bool
 	// divergence counts planned-vs-observed mismatch observations since
 	// the droplet last moved on-policy; degraded marks the job as demoted
 	// to the router's final tier for the rest of the execution.
@@ -264,6 +296,11 @@ type moRT struct {
 	// wedged operations cannot starve each other.
 	pendingSplit *dropletRT
 	splitWait    int
+	// mergeWait counts cycles a concurrent-mode coalesce was deferred
+	// because a foreign droplet sat inside the merged footprint's margin
+	// (the merged rectangle extends past its sources, so materializing it
+	// next to a transiting droplet would violate the fluidic constraints).
+	mergeWait int
 	// degraded marks that the operation overran its per-MO deadline and
 	// its jobs were demoted to the final-tier router.
 	degraded bool
@@ -342,6 +379,15 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 	var droplets []*dropletRT
 	var exec Execution
 	r.inferredFaults = nil
+	// cs is non-nil only in concurrent mode; every branch it gates leaves
+	// the default one-zone-at-a-time path bit-for-bit unchanged, so the
+	// sequential executor stays a valid differential oracle.
+	var cs *concurrentState
+	if r.Cfg.Concurrent {
+		cs = newConcurrentState(len(mos))
+	}
+	r.cs = cs
+	defer func() { r.cs = nil }()
 
 	removeDroplet := func(d *dropletRT) {
 		for i, q := range droplets {
@@ -440,7 +486,7 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 			if m.state == moActive {
 				anyActive = true
 			}
-			if ready(id) {
+			if ready(id) && (cs == nil || cs.mayActivate(id, k, mos)) {
 				readyIDs = append(readyIDs, id)
 			}
 		}
@@ -451,7 +497,13 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 		}
 		activated := false
 		for _, id := range readyIDs {
-			if canReserve(id) {
+			ok := false
+			if cs != nil {
+				ok = r.canActivateConcurrent(id, mos, droplets, claims(id))
+			} else {
+				ok = canReserve(id)
+			}
+			if ok {
 				r.activate(mos[id], id, outputs, &droplets, k, &exec)
 				activated = true
 				anyActive = true
@@ -479,11 +531,23 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 			}
 		}
 
-		// 1c. Pending dispenses: spawn when the entry area clears.
-		for id, m := range mos {
-			if m.state == moActive && m.cm.MO.Type == assay.Dis && m.jobs[0].droplet == nil {
-				r.trySpawn(m, id, k, &droplets)
+		// 1c. Pending dispenses: spawn when the entry area clears. In
+		// concurrent mode a contended reservoir is arbitrated by waiting
+		// age (longest-deferred dispense first), so none starves.
+		if cs != nil {
+			r.arbitrateSpawns(cs, mos, k, &droplets, &exec)
+		} else {
+			for id, m := range mos {
+				if m.state == moActive && m.cm.MO.Type == assay.Dis && m.jobs[0].droplet == nil {
+					r.trySpawn(m, id, k, &droplets)
+				}
 			}
+		}
+		if n := len(droplets); n > exec.PeakDroplets {
+			exec.PeakDroplets = n
+		}
+		if cs != nil {
+			cs.observeCycle(len(droplets))
 		}
 
 		// 1d. Per-MO deadlines: an operation running far past activation is
@@ -545,6 +609,9 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 		}
 
 		// 3. Select actions and build the actuation matrix U.
+		if cs != nil {
+			cs.resetWaits()
+		}
 		patterns := make([]geom.Rect, 0, len(droplets))
 		intents := make([]geom.Rect, len(droplets)) // committed region per droplet
 		acts := make([]action.Action, len(droplets))
@@ -568,6 +635,11 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 				exec.Stalls++
 				d.job.obstacleDirty = true
 				r.noteDivergence(d, &exec)
+				if cs != nil {
+					if b := unroutableBlocker(d, droplets); b != nil {
+						cs.waits[d] = b
+					}
+				}
 				patterns = append(patterns, d.rect)
 				continue
 			}
@@ -575,6 +647,9 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 			if blocker := r.blockedBy(d, target, droplets, intents, i); blocker != nil {
 				exec.Stalls++
 				d.job.blockedStreak++
+				if cs != nil {
+					cs.waits[d] = blocker
+				}
 				if blocker.quasiStatic() {
 					d.job.obstacleDirty = true
 				} else if d.job.blockedStreak >= blockedStreakLimit {
@@ -658,6 +733,13 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 			lastProgress = k
 		}
 
+		// 6a. Concurrent-mode deadlock detection and recovery: wait-for
+		// cycles among droplets stalled past patience are broken by forcibly
+		// serializing a victim operation behind its rivals.
+		if cs != nil && r.detectDeadlocks(cs, mos, plan, outputs, &droplets, k, &exec) {
+			lastProgress = k
+		}
+
 		// 6b. Reactive error recovery (when enabled), in the paper's two
 		// tiers (Sec. II-C). Retrial: a droplet stalled for half the
 		// threshold has its suspected dead region blacklisted and its
@@ -699,6 +781,7 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 			if failed >= 0 {
 				r.inferFaults(mos[failed], k)
 				rollback(mos, plan, failed, outputs, &droplets, &exec)
+				exec.Rollbacks++
 				lastProgress = k
 			}
 		}
@@ -814,6 +897,9 @@ func (r *Runner) auditHazards(droplets []*dropletRT) int {
 		if !bounds.ContainsRect(d.rect) {
 			violations++
 			telHazardViolate.Inc()
+			if r.Debug != nil {
+				fmt.Fprintf(r.Debug, "hazard: droplet mo=%d at %v off-array\n", d.mo, d.rect)
+			}
 		}
 		for _, q := range droplets[i+1:] {
 			if d.mo >= 0 && d.mo == q.mo {
@@ -822,6 +908,10 @@ func (r *Runner) auditHazards(droplets []*dropletRT) int {
 			if d.rect.Overlaps(q.rect) {
 				violations++
 				telHazardViolate.Inc()
+				if r.Debug != nil {
+					fmt.Fprintf(r.Debug, "hazard: droplets mo=%d at %v and mo=%d at %v overlap\n",
+						d.mo, d.rect, q.mo, q.rect)
+				}
 			}
 		}
 	}
@@ -920,14 +1010,31 @@ func (r *Runner) trySplit(m *moRT, id, jlo, k int, droplets *[]*dropletRT, exec 
 		margin = 0 // wedged against an adjacent droplet: split anyway
 	}
 	zone := s0.Union(s1).Expand(margin)
+	var blocker *dropletRT
 	for _, d := range *droplets {
 		if d == m.pendingSplit || d.mo == id {
 			continue
 		}
 		if zone.Overlaps(d.rect) {
-			m.splitWait++
-			return false
+			if blocker == nil || (!blocker.quasiStatic() && d.quasiStatic()) {
+				blocker = d
+			}
 		}
+	}
+	if blocker != nil {
+		m.splitWait++
+		if r.cs != nil && m.splitWait > 60 {
+			// Still wedged past the margin-0 fallback: the pending parent
+			// waits on whatever blocks its split area. Two adjacent pending
+			// splits can block each other's areas even at margin 0, a
+			// wait-for cycle only deadlock recovery resolves.
+			r.cs.waits[m.pendingSplit] = blocker
+		}
+		if r.Debug != nil && m.splitWait%25 == 0 {
+			fmt.Fprintf(r.Debug, "split M%d deferred %d cycles: zone=%v blocked by mo=%d at %v\n",
+				id, m.splitWait, zone, blocker.mo, blocker.rect)
+		}
+		return false
 	}
 	removeFrom(droplets, m.pendingSplit)
 	m.pendingSplit = nil
@@ -1019,6 +1126,10 @@ func (r *Runner) fetch(j *jobRT, k int, droplets []*dropletRT, exec *Execution) 
 		rj.Start = j.droplet.rect
 		rj.Dispense = false
 	}
+	if j.widen > 0 {
+		b := r.Chip.Bounds()
+		rj.Hazard = rj.Hazard.Expand(j.widen).Clamp(b.Width(), b.Height())
+	}
 	var policy synth.Policy
 	var err error
 	if dr, ok := r.Router.(sched.DegradedRouter); ok && j.degraded {
@@ -1043,7 +1154,13 @@ func (r *Runner) fetch(j *jobRT, k int, droplets []*dropletRT, exec *Execution) 
 		// droplet holds; re-routes keep probing as conditions change,
 		// and the execution runs down the clock if none appears —
 		// matching the paper's "droplet stuck at faulty
-		// microelectrodes" failure mode.
+		// microelectrodes" failure mode. In concurrent mode an
+		// obstruction by foreign droplets additionally widens the next
+		// synthesis window, so head-on meetings in open space dissolve
+		// by detouring instead of wedging until deadlock recovery.
+		if r.Cfg.Concurrent && len(obstacles) > 0 && j.widen < widenMax {
+			j.widen += widenStep
+		}
 		j.policy = nil
 		j.routable = false
 		return
@@ -1060,12 +1177,17 @@ func (r *Runner) install(j *jobRT, k int, droplets []*dropletRT, exec *Execution
 }
 
 // blockedBy returns a droplet of another operation that the intended move
-// would violate the collision margin with, or nil when the move is clear.
+// would violate the fluidic constraints with, or nil when the move is clear.
+// The incremental per-cycle form of the static/dynamic envelope (see
+// HazardFree): a droplet's next position is checked against the cur∪next
+// region of every droplet already committed this cycle (static + dynamic
+// halves at once) and against the current position of every droplet yet to
+// move (the dynamic half; the mover's own half is checked when its turn
+// comes).
 func (r *Runner) blockedBy(d *dropletRT, target geom.Rect, droplets []*dropletRT, intents []geom.Rect, i int) *dropletRT {
 	// Only the destination is margin-checked: a droplet that finds itself
 	// within an obstacle's margin (e.g. a merge product appeared next to
 	// it) must still be able to step away.
-	zone := target.Expand(r.Cfg.CollisionMargin)
 	for q, other := range droplets {
 		if q == i || other.mo == d.mo {
 			continue
@@ -1076,7 +1198,7 @@ func (r *Runner) blockedBy(d *dropletRT, target geom.Rect, droplets []*dropletRT
 		if q < i {
 			region = region.Union(intents[q])
 		}
-		if zone.Overlaps(region) {
+		if zoneConflict(target, region, r.Cfg.CollisionMargin) {
 			return other
 		}
 	}
@@ -1213,6 +1335,42 @@ func (r *Runner) progressMerge(m *moRT, id int, outputs map[outputKey]*dropletRT
 	if !(adjacent && (in0 || in1)) {
 		return
 	}
+	if r.Cfg.Concurrent {
+		// The merged rectangle extends past the two source droplets; with
+		// foreign droplets routing nearby (impossible under the sequential
+		// zone discipline), defer the coalesce until its footprint is clear,
+		// mirroring trySplit. After a long wait only true overlap blocks, so
+		// two wedged operations cannot starve each other; the sources hold
+		// quasi-statically meanwhile, so passers-by route around them.
+		margin := r.Cfg.CollisionMargin
+		if m.mergeWait > 50 {
+			margin = 0
+		}
+		zone := m.cm.MergedRect.Expand(margin)
+		var blocker *dropletRT
+		for _, d := range *droplets {
+			if d.mo == id {
+				continue
+			}
+			if zone.Overlaps(d.rect) {
+				if blocker == nil || (!blocker.quasiStatic() && d.quasiStatic()) {
+					blocker = d
+				}
+			}
+		}
+		if blocker != nil {
+			m.mergeWait++
+			if m.mergeWait > 60 {
+				// Still wedged past the margin-0 fallback: both parked
+				// sources wait on the intruder, so a permanent squatter in
+				// the footprint surfaces as a wait-for chain.
+				r.cs.waits[d0] = blocker
+				r.cs.waits[d1] = blocker
+			}
+			return
+		}
+		m.mergeWait = 0
+	}
 	// Coalesce.
 	if !j0.done {
 		j0.done = true
@@ -1243,14 +1401,15 @@ func (r *Runner) progressMerge(m *moRT, id int, outputs map[outputKey]*dropletRT
 // the transitive closure of (a) producers of a reset operation's inputs and
 // (b) consumers of a reset operation's outputs — back to the init state.
 // Chip wear is NOT undone: recovery costs extra actuations, which is exactly
-// the paper's argument for proactive avoidance.
-func rollback(mos []*moRT, plan *route.Plan, failed int, outputs map[outputKey]*dropletRT,
-	droplets *[]*dropletRT, exec *Execution) {
-	inR := make([]bool, len(mos))
+// the paper's argument for proactive avoidance. Callers count the event
+// (exec.Rollbacks for reactive recovery, exec.SerializedOps for concurrent
+// deadlock serialization).
+func rollbackClosure(plan *route.Plan, n, failed int) []bool {
+	inR := make([]bool, n)
 	inR[failed] = true
 	for changed := true; changed; {
 		changed = false
-		for id := range mos {
+		for id := 0; id < n; id++ {
 			if !inR[id] {
 				continue
 			}
@@ -1261,7 +1420,7 @@ func rollback(mos []*moRT, plan *route.Plan, failed int, outputs map[outputKey]*
 				}
 			}
 		}
-		for id := range mos {
+		for id := 0; id < n; id++ {
 			if inR[id] {
 				continue
 			}
@@ -1274,6 +1433,25 @@ func rollback(mos []*moRT, plan *route.Plan, failed int, outputs map[outputKey]*
 			}
 		}
 	}
+	return inR
+}
+
+// rollbackCost is the number of already-started operations a rollback of the
+// given operation would reset — the work deadlock recovery should minimize
+// when choosing its victim.
+func rollbackCost(mos []*moRT, plan *route.Plan, failed int) int {
+	cost := 0
+	for id, in := range rollbackClosure(plan, len(mos), failed) {
+		if in && mos[id].state != moInit {
+			cost++
+		}
+	}
+	return cost
+}
+
+func rollback(mos []*moRT, plan *route.Plan, failed int, outputs map[outputKey]*dropletRT,
+	droplets *[]*dropletRT, exec *Execution) {
+	inR := rollbackClosure(plan, len(mos), failed)
 	// Discard on-chip droplets owned by reset operations.
 	var keep []*dropletRT
 	for _, d := range *droplets {
@@ -1311,7 +1489,6 @@ func rollback(mos []*moRT, plan *route.Plan, failed int, outputs map[outputKey]*
 		}
 		mos[id] = nm
 	}
-	exec.Rollbacks++
 }
 
 // zoneHealth returns the mean observed health (in units of the top code)

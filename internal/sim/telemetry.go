@@ -31,4 +31,16 @@ var (
 	telDegradedJobs  = telemetry.C("sim.degraded_jobs")
 	telMODeadline    = telemetry.C("sim.mo_deadline_exceeded")
 	telHazardViolate = telemetry.C("sim.hazard_violations")
+
+	// Concurrent-executor observations (Config.Concurrent).
+	// sim.deadlocks counts detected wait-for cycles, sim.serialized_ops
+	// victim operations forcibly serialized behind their rivals,
+	// sim.dispense_deferrals droplet-cycles spent queued at a contended
+	// reservoir; sim.concurrent_droplets is the live droplet count each
+	// cycle and sim.droplets_per_cycle its distribution over the run.
+	telDeadlocks          = telemetry.C("sim.deadlocks")
+	telSerializedOps      = telemetry.C("sim.serialized_ops")
+	telSpawnDeferrals     = telemetry.C("sim.dispense_deferrals")
+	telConcurrentDroplets = telemetry.G("sim.concurrent_droplets")
+	telDropletsPerCycle   = telemetry.H("sim.droplets_per_cycle", telemetry.CountBuckets...)
 )
