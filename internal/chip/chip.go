@@ -229,6 +229,7 @@ func (c *Chip) SnapshotForceField(region geom.Rect) action.ForceField {
 	live := c.ObservedForceField()
 	for y := r.YA; y <= r.YB; y++ {
 		for x := r.XA; x <= r.XB; x++ {
+			//lint:ignore gridbounds forces was just made with w*(YB-YA+1) cells and the loops confine (x,y) to r, so the linearized offset is within the slab
 			forces[(y-r.YA)*w+(x-r.XA)] = live(x, y)
 		}
 	}
@@ -254,6 +255,7 @@ func (c *Chip) Actuate(patterns ...geom.Rect) {
 		for y := r.YA; y <= r.YB; y++ {
 			base := (y - 1) * c.w
 			for x := r.XA; x <= r.XB; x++ {
+				//lint:ignore gridbounds c.mcs has w*h cells and r is clipped to the chip bounds, so 1 ≤ x ≤ w and 1 ≤ y ≤ h
 				c.mcs[base+x-1].Actuate()
 			}
 		}

@@ -1,0 +1,1028 @@
+package absint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"meda/internal/lint/cfg"
+	"meda/internal/lint/dataflow"
+)
+
+// Options inject the client analyzer's domain knowledge into the
+// interpreter. All hooks are optional.
+type Options struct {
+	// ParamSeed returns the entry interval assumed for a parameter (e.g.
+	// probflow assumes probability-named float parameters lie in [0,1] —
+	// the call-site half of that contract is checked at every call).
+	ParamSeed func(v *types.Var) (Interval, bool)
+	// CallResult returns the interval of a single-result call — the
+	// interprocedural hook through which return-range facts of upstream
+	// functions (and seeded stdlib knowledge) enter the local analysis.
+	CallResult func(call *ast.CallExpr) (Interval, bool)
+	// ReadSeed returns the interval assumed for a non-local read the
+	// interpreter would otherwise treat as unknown (a probability-named
+	// field, say). Consulted only when the environment has no binding.
+	ReadSeed func(e ast.Expr) (Interval, bool)
+}
+
+// Func is the solved value-range analysis of one function body.
+type Func struct {
+	Info *types.Info
+	Opts Options
+	G    *cfg.CFG
+
+	res       dataflow.Result[Env]
+	addrTaken map[*types.Var]bool
+	intKind   map[ast.Expr]bool // memo: static type is integral
+}
+
+// Analyze runs the interval interpreter over one function body. params are
+// the declared parameters (receiver included if the caller wants it
+// tracked); the entry environment binds each through Options.ParamSeed.
+func Analyze(info *types.Info, body *ast.BlockStmt, params []*types.Var, opts Options) *Func {
+	f := &Func{
+		Info:      info,
+		Opts:      opts,
+		G:         cfg.New(body),
+		addrTaken: findAddrTaken(info, body),
+	}
+	boundary := Env{reached: true, vals: make(map[Ref]Val)}
+	for _, p := range params {
+		if opts.ParamSeed != nil {
+			if iv, ok := opts.ParamSeed(p); ok {
+				boundary.vals[Ref{Root: p}] = Val{I: iv}
+			}
+		}
+	}
+	f.res = dataflow.ForwardWidened[Env](f.G, envLattice{}, boundary,
+		func(b *cfg.Block, in Env) Env { return f.transfer(b, in) },
+		func(b *cfg.Block, succ int, out Env) Env { return f.edge(b, succ, out) },
+	)
+	return f
+}
+
+// Walk visits every CFG node in block-creation order (which follows the
+// source), passing the environment holding immediately before the node.
+// Nodes in unreachable blocks are visited with an unreached environment.
+func (f *Func) Walk(visit func(n ast.Node, env Env)) {
+	for _, b := range f.G.Blocks {
+		env := f.res.In[b]
+		for _, n := range b.Nodes {
+			visit(n, env)
+			env = f.step(env, n)
+		}
+	}
+}
+
+// EvalIn evaluates an expression in an environment (exposed for analyzers
+// checking sub-expressions of the node Walk handed them).
+func (f *Func) EvalIn(env Env, e ast.Expr) Interval { return f.eval(env, e) }
+
+// ValueOf returns the full abstract value of an expression: its interval
+// plus, when the expression resolves to a tracked ref, the relational
+// facts bound to it.
+func (f *Func) ValueOf(env Env, e ast.Expr) Val {
+	if r, ok := f.refOf(e); ok {
+		v := env.Get(r)
+		if v.I.IsTop() {
+			v.I = f.eval(env, e) // pick up read seeds
+		}
+		return v
+	}
+	return Val{I: f.eval(env, e), Coord: f.isCoordExpr(env, e)}
+}
+
+// CoordDerived reports whether the expression carries the linearized
+// 2D-coordinate shape gridbounds keys on: a product of two non-constant
+// integer operands anywhere inside it, or a read of a variable tainted by
+// one.
+func (f *Func) CoordDerived(env Env, e ast.Expr) bool {
+	if r, ok := f.refOf(e); ok && env.Get(r).Coord {
+		return true
+	}
+	return f.isCoordExpr(env, e)
+}
+
+// IndexProven reports whether the environment proves s[i] in bounds:
+// i ≥ 0 numerically, and i < len(s) either relationally (a below-length
+// fact for s's ref) or numerically against s's length interval (arrays use
+// their constant length). The string names the missing half when unproven.
+func (f *Func) IndexProven(env Env, s, index ast.Expr) (bool, string) {
+	iv := f.ValueOf(env, index)
+	if iv.I.IsEmpty() {
+		return true, "" // unreachable
+	}
+	if iv.I.Lo < 0 {
+		return false, "cannot prove index ≥ 0 (index in " + iv.I.String() + ")"
+	}
+	ln := f.lenInterval(env, s)
+	if !iv.I.IsEmpty() && iv.I.Hi < ln.Lo {
+		return true, ""
+	}
+	if sref, ok := f.refOf(s); ok && iv.LtLen[sref] {
+		return true, ""
+	}
+	return false, "cannot prove index < len (index in " + iv.I.String() + ", len in " + ln.String() + ")"
+}
+
+// transfer interprets one block's nodes in order.
+func (f *Func) transfer(b *cfg.Block, in Env) Env {
+	if !in.reached {
+		return in
+	}
+	env := in
+	for _, n := range b.Nodes {
+		env = f.step(env, n)
+	}
+	return env
+}
+
+// step applies one node's effects. Any node containing an opaque call
+// first havocs what the call may mutate (field paths and address-taken
+// locals); losing the information before the node's own reads is sound —
+// it only widens.
+func (f *Func) step(env Env, n ast.Node) Env {
+	if !env.reached {
+		return env
+	}
+	if f.hasOpaqueCall(n) {
+		env = env.kill(func(r Ref) bool {
+			return r.isField() || f.addrTaken[r.Root]
+		})
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return f.assign(env, n)
+	case *ast.IncDecStmt:
+		if r, ok := f.refOf(n.X); ok {
+			delta := Const(1)
+			if n.Tok == token.DEC {
+				delta = Const(-1)
+			}
+			v := env.Get(r)
+			nv := Val{I: v.I.Add(delta)}
+			// i++ can step onto len(s); i-- preserves i < len(s).
+			if n.Tok == token.DEC {
+				nv.LtLen = v.LtLen
+			}
+			nv.Coord = v.Coord
+			return env.killRef(r).with(r, nv)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					v, ok := f.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					r := Ref{Root: v}
+					switch {
+					case len(vs.Values) == len(vs.Names):
+						env = f.bind(env, r, vs.Values[i], f.valOf(env, vs.Values[i]))
+					case len(vs.Values) == 0 && isNumeric(v.Type()):
+						env = env.killRef(r).with(r, Val{I: Const(0)})
+					default:
+						env = env.killRef(r)
+					}
+				}
+			}
+		}
+	}
+	return env
+}
+
+// assign interprets one assignment statement, including the synthetic
+// `key, value := X` binding the CFG builder plants at range-loop headers.
+func (f *Func) assign(env Env, n *ast.AssignStmt) Env {
+	// Range header: one RHS whose type cannot match the LHS tuple.
+	if len(n.Rhs) == 1 && f.isRangeBinding(n) {
+		return f.rangeBind(env, n)
+	}
+	switch n.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(n.Lhs) == len(n.Rhs) {
+			// Evaluate every RHS in the pre-state (swap semantics), then bind.
+			vals := make([]Val, len(n.Rhs))
+			for i, rhs := range n.Rhs {
+				vals[i] = f.valOf(env, rhs)
+			}
+			for i, lhs := range n.Lhs {
+				env = f.bindLHS(env, lhs, n.Rhs[i], vals[i])
+			}
+			return env
+		}
+		// Multi-value form (call, map read, type assertion): havoc targets.
+		for _, lhs := range n.Lhs {
+			env = f.havocLHS(env, lhs)
+		}
+		return env
+	default:
+		// Compound assignment: x op= y.
+		if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+			return env
+		}
+		lhs := n.Lhs[0]
+		r, ok := f.refOf(lhs)
+		if !ok {
+			return f.havocLHS(env, lhs)
+		}
+		cur := env.Get(r)
+		op, hasOp := compoundOp(n.Tok)
+		if !hasOp {
+			return env.killRef(r)
+		}
+		rhs := f.eval(env, n.Rhs[0])
+		nv := Val{I: f.binop(op, cur.I, rhs, f.isIntExpr(lhs)), Coord: cur.Coord || f.isCoordExpr(env, n.Rhs[0])}
+		if op == token.MUL && !isConstExpr(f.Info, n.Rhs[0]) {
+			nv.Coord = true
+		}
+		return env.killRef(r).with(r, nv)
+	}
+}
+
+func compoundOp(tok token.Token) (token.Token, bool) {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.QUO_ASSIGN:
+		return token.QUO, true
+	case token.REM_ASSIGN:
+		return token.REM, true
+	}
+	return token.ILLEGAL, false
+}
+
+// bindLHS binds one assignment target. Non-ref targets (index and pointer
+// stores) cannot be tracked; pointer stores additionally havoc every field
+// path (the pointee may alias anything).
+func (f *Func) bindLHS(env Env, lhs, rhs ast.Expr, v Val) Env {
+	if r, ok := f.refOf(lhs); ok {
+		return f.bindRef(env, r, rhs, v)
+	}
+	return f.havocLHS(env, lhs)
+}
+
+func (f *Func) havocLHS(env Env, lhs ast.Expr) Env {
+	if r, ok := f.refOf(lhs); ok {
+		return env.killRef(r)
+	}
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.StarExpr:
+		return env.kill(func(r Ref) bool { return r.isField() })
+	case *ast.SelectorExpr:
+		// Write through an untracked base: kill same-named fields anywhere.
+		name := "." + lhs.Sel.Name
+		return env.kill(func(r Ref) bool { return r.isField() && hasFieldSeg(r.Path, name) })
+	}
+	return env
+}
+
+// bind is bindLHS for targets already resolved to a ref.
+func (f *Func) bind(env Env, r Ref, rhs ast.Expr, v Val) Env {
+	return f.bindRef(env, r, rhs, v)
+}
+
+func (f *Func) bindRef(env Env, r Ref, rhs ast.Expr, v Val) Env {
+	// Writing a field invalidates same-named fields under other roots
+	// (aliased pointers); writing a plain local cannot alias.
+	if r.isField() {
+		name := r.Path[lastDot(r.Path):]
+		env = env.kill(func(k Ref) bool {
+			return k != r && k.isField() && hasFieldSeg(k.Path, name)
+		})
+	}
+	// Self-append keeps the slice identity: length grows, below-length
+	// facts naming it stay valid.
+	if grow, spread, isSelf := f.appendInfo(rhs, r); isSelf {
+		lr := lenRef(r)
+		ln := env.Get(lr).I
+		if ln.IsTop() {
+			ln = AtLeast(0)
+		}
+		if spread {
+			ln = Interval{ln.Lo, Top.Hi}
+		} else {
+			ln = ln.Add(Const(float64(grow)))
+		}
+		return env.with(lr, Val{I: ln})
+	}
+	env = env.killRef(r)
+	// n := len(s) makes n a length alias of s: a later `i < n` proves
+	// i < len(s) without re-spelling the len call.
+	if s, extra, ok := f.lenOperand(env, rhs); ok && extra == 0 && !s.isLen() {
+		v.I = v.I.Meet(AtLeast(0))
+		v.LenOf = map[Ref]bool{s: true}
+	}
+	if !v.isTop() {
+		env = env.with(r, v)
+	}
+	// A fresh make([]T, n) pins the new slice's length to n's interval.
+	if ln, ok := f.makeLen(env, rhs); ok {
+		env = env.with(lenRef(r), Val{I: ln})
+	}
+	return env
+}
+
+// appendInfo recognizes rhs as append(base, ...) growing the same ref it
+// is being assigned to, returning how many elements are appended.
+func (f *Func) appendInfo(rhs ast.Expr, target Ref) (grow int, spread, isSelf bool) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return 0, false, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return 0, false, false
+	}
+	if b, ok := f.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return 0, false, false
+	}
+	base, ok := f.refOf(call.Args[0])
+	if !ok || base != target {
+		return 0, false, false
+	}
+	return len(call.Args) - 1, call.Ellipsis.IsValid(), true
+}
+
+// makeLen recognizes rhs as make([]T, n[, c]) and returns n's interval
+// clamped to ≥ 0 (a negative length panics at runtime).
+func (f *Func) makeLen(env Env, rhs ast.Expr) (Interval, bool) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return Top, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return Top, false
+	}
+	if b, ok := f.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return Top, false
+	}
+	if t := f.Info.Types[call.Args[0]].Type; t == nil || !isSliceType(t) {
+		return Top, false
+	}
+	ln := f.eval(env, call.Args[1]).Meet(AtLeast(0))
+	return ln, true
+}
+
+// isRangeBinding distinguishes the CFG builder's synthetic range-header
+// assignment from real code: a single RHS whose static type is a
+// container (or integer, for `range n`) bound to loop-variable LHS whose
+// types do not match a normal assignment of that RHS.
+func (f *Func) isRangeBinding(n *ast.AssignStmt) bool {
+	rt := f.Info.Types[n.Rhs[0]].Type
+	if rt == nil {
+		return false
+	}
+	if len(n.Lhs) > 1 {
+		// `a, b = expr` with one RHS is either a multi-value call (tuple
+		// type) or a range binding; tuples never reach here as container
+		// types.
+		switch rt.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Pointer, *types.Map, *types.Basic, *types.Chan, *types.Signature:
+			return true
+		}
+		return false
+	}
+	// Single LHS: a range binding iff assigning RHS to LHS directly would
+	// be ill-typed (k := someSlice can never appear as a real assignment
+	// with k integer).
+	lt := f.Info.Types[n.Lhs[0]].Type
+	if lt == nil {
+		if id, ok := n.Lhs[0].(*ast.Ident); ok {
+			if v, ok := f.Info.Defs[id].(*types.Var); ok {
+				lt = v.Type()
+			}
+		}
+	}
+	if lt == nil {
+		return false
+	}
+	switch rt.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Map, *types.Chan, *types.Signature:
+		return !types.AssignableTo(rt, lt)
+	case *types.Pointer: // *[N]T
+		return !types.AssignableTo(rt, lt)
+	case *types.Basic:
+		b := rt.Underlying().(*types.Basic)
+		if b.Info()&types.IsString != 0 {
+			return !types.AssignableTo(rt, lt)
+		}
+		// range over integer: LHS is the same integer type, so
+		// assignability cannot discriminate — but a real `k := n`
+		// assignment is handled identically to the range bound below
+		// (k ∈ [0, n-1] would be wrong). Require the statement to sit at
+		// a loop header: the builder plants it as the block's first node
+		// with the range token position. Conservative fallback: treat as
+		// a plain assignment.
+		return false
+	}
+	return false
+}
+
+// rangeBind applies the range-header binding: the key variable of a
+// slice/array/string range is a fresh index in [0, len-1].
+func (f *Func) rangeBind(env Env, n *ast.AssignStmt) Env {
+	x := n.Rhs[0]
+	rt := f.Info.Types[x].Type
+	// Havoc the loop variables first.
+	for _, lhs := range n.Lhs {
+		if r, ok := f.refOf(lhs); ok {
+			env = env.killRef(r)
+		}
+	}
+	if rt == nil {
+		return env
+	}
+	indexed := false
+	switch u := rt.Underlying().(type) {
+	case *types.Slice, *types.Basic:
+		indexed = true
+	case *types.Array:
+		_ = u
+		indexed = true
+	case *types.Pointer:
+		if _, ok := u.Elem().Underlying().(*types.Array); ok {
+			indexed = true
+		}
+	}
+	if !indexed || len(n.Lhs) == 0 {
+		return env
+	}
+	kr, ok := f.refOf(n.Lhs[0])
+	if !ok {
+		return env
+	}
+	kv := Val{I: AtLeast(0)}
+	if sref, ok := f.refOf(x); ok && isSliceType(rt) {
+		kv = kv.withLtLen(sref)
+	}
+	if ln := f.lenInterval(env, x); !ln.IsTop() && ln.Hi >= 1 {
+		kv.I = kv.I.Meet(AtMost(ln.Hi - 1))
+	}
+	return env.with(kr, kv)
+}
+
+// lenInterval returns the interval of len(x): the constant length of
+// arrays, the tracked length cell of slices, [0, +∞) otherwise.
+func (f *Func) lenInterval(env Env, x ast.Expr) Interval {
+	t := f.Info.Types[x].Type
+	if t != nil {
+		u := t.Underlying()
+		if p, ok := u.(*types.Pointer); ok {
+			u = p.Elem().Underlying()
+		}
+		if arr, ok := u.(*types.Array); ok {
+			return Const(float64(arr.Len()))
+		}
+	}
+	if r, ok := f.refOf(x); ok {
+		if v, bound := env.vals[lenRef(r)]; bound {
+			return v.I
+		}
+	}
+	return AtLeast(0)
+}
+
+// eval computes the interval of an expression in an environment.
+func (f *Func) eval(env Env, e ast.Expr) Interval {
+	if iv, ok := constInterval(f.Info, e); ok {
+		return iv
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if r, ok := f.refOf(e.(ast.Expr)); ok {
+			if v, bound := env.vals[r]; bound {
+				return v.I
+			}
+		}
+		if f.Opts.ReadSeed != nil {
+			if iv, ok := f.Opts.ReadSeed(e.(ast.Expr)); ok {
+				return iv
+			}
+		}
+		if isUnsignedExpr(f.Info, e.(ast.Expr)) {
+			return AtLeast(0)
+		}
+		return Top
+	case *ast.BinaryExpr:
+		x, y := f.eval(env, e.X), f.eval(env, e.Y)
+		return f.binop(e.Op, x, y, f.isIntExpr(e))
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.SUB:
+			return f.eval(env, e.X).Neg()
+		case token.ADD:
+			return f.eval(env, e.X)
+		}
+		return Top
+	case *ast.CallExpr:
+		return f.evalCall(env, e)
+	case *ast.IndexExpr, *ast.StarExpr:
+		if isUnsignedExpr(f.Info, e.(ast.Expr)) {
+			return AtLeast(0)
+		}
+		return Top
+	}
+	if ex, ok := e.(ast.Expr); ok && isUnsignedExpr(f.Info, ex) {
+		return AtLeast(0)
+	}
+	return Top
+}
+
+// evalCall evaluates builtins the domain understands, conversions, and —
+// through the CallResult hook — summarized callees.
+func (f *Func) evalCall(env Env, call *ast.CallExpr) Interval {
+	// Conversion T(x): the interval passes through, truncated for
+	// float→int.
+	if tv, ok := f.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		iv := f.eval(env, call.Args[0])
+		if isIntegerType(tv.Type) {
+			iv = iv.Trunc()
+			if isUnsignedType(tv.Type) {
+				iv = iv.Meet(AtLeast(0)) // conversion wraps; assume in-range use
+			}
+		}
+		return iv
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := f.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len":
+				if len(call.Args) == 1 {
+					return f.lenInterval(env, call.Args[0])
+				}
+			case "cap":
+				return AtLeast(0)
+			case "min":
+				iv := f.eval(env, call.Args[0])
+				for _, a := range call.Args[1:] {
+					o := f.eval(env, a)
+					iv = Interval{minF(iv.Lo, o.Lo), minF(iv.Hi, o.Hi)}
+				}
+				return iv
+			case "max":
+				iv := f.eval(env, call.Args[0])
+				for _, a := range call.Args[1:] {
+					o := f.eval(env, a)
+					iv = Interval{maxF(iv.Lo, o.Lo), maxF(iv.Hi, o.Hi)}
+				}
+				return iv
+			}
+			return Top
+		}
+	}
+	if f.Opts.CallResult != nil {
+		if iv, ok := f.Opts.CallResult(call); ok {
+			return iv
+		}
+	}
+	if isUnsignedExpr(f.Info, call) {
+		return AtLeast(0)
+	}
+	return Top
+}
+
+// binop applies one binary operator over intervals; isInt selects the
+// truncating division and enables modulo bounds.
+func (f *Func) binop(op token.Token, x, y Interval, isInt bool) Interval {
+	switch op {
+	case token.ADD:
+		return x.Add(y)
+	case token.SUB:
+		return x.Sub(y)
+	case token.MUL:
+		return x.Mul(y)
+	case token.QUO:
+		q := x.Div(y)
+		if isInt {
+			q = q.Trunc()
+		}
+		return q
+	case token.REM:
+		// x % y for y with known positive bound: |result| < y.Hi, and the
+		// result keeps x's sign.
+		if y.IsEmpty() || x.IsEmpty() {
+			return Empty
+		}
+		if y.Lo > 0 || (y.Hi < 0) {
+			bound := maxF(absF(y.Lo), absF(y.Hi)) - 1
+			out := Interval{-bound, bound}
+			if x.Lo >= 0 {
+				out.Lo = 0
+			}
+			if x.Hi <= 0 {
+				out.Hi = 0
+			}
+			return out
+		}
+		return Top
+	case token.SHR:
+		if x.Lo >= 0 {
+			return Interval{0, x.Hi}
+		}
+		return Top
+	case token.SHL, token.AND, token.OR, token.XOR, token.AND_NOT:
+		if x.Lo >= 0 && y.Lo >= 0 {
+			if op == token.AND {
+				return Interval{0, minF(x.Hi, y.Hi)}
+			}
+			return AtLeast(0)
+		}
+		return Top
+	}
+	return Top
+}
+
+// edge refines the out-fact along one branch edge using the block's
+// condition: successor 0 is the true edge, successor 1 the false edge.
+// Non-conditional multi-successor blocks (switch/select dispatch) pass the
+// fact through unrefined.
+func (f *Func) edge(b *cfg.Block, succ int, out Env) Env {
+	if b.Cond == nil || !out.reached {
+		return out
+	}
+	switch succ {
+	case 0:
+		return f.refine(out, b.Cond, true)
+	case 1:
+		return f.refine(out, b.Cond, false)
+	}
+	return out
+}
+
+// refine sharpens the environment under "cond is isTrue".
+func (f *Func) refine(env Env, cond ast.Expr, isTrue bool) Env {
+	if !env.reached {
+		return env
+	}
+	switch cond := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if cond.Op == token.NOT {
+			return f.refine(env, cond.X, !isTrue)
+		}
+	case *ast.BinaryExpr:
+		switch cond.Op {
+		case token.LAND:
+			if isTrue {
+				return f.refine(f.refine(env, cond.X, true), cond.Y, true)
+			}
+			return env // ¬(a∧b) splits; the join is the unrefined fact
+		case token.LOR:
+			if !isTrue {
+				return f.refine(f.refine(env, cond.X, false), cond.Y, false)
+			}
+			return env
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			op := cond.Op
+			if !isTrue {
+				op = negateCmp(op)
+			}
+			env = f.refineCmp(env, cond.X, op, cond.Y)
+			env = f.refineCmp(env, cond.Y, flipCmp(op), cond.X)
+			return env
+		}
+	}
+	return env
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op // ==, != are symmetric
+}
+
+// refineCmp sharpens the value of x under "x op y".
+func (f *Func) refineCmp(env Env, x ast.Expr, op token.Token, y ast.Expr) Env {
+	r, ok := f.refOf(x)
+	if !ok {
+		return env
+	}
+	v := env.Get(r)
+	yv := f.eval(env, y)
+	isInt := f.isIntExpr(x)
+	step := 0.0
+	if isInt {
+		step = 1
+	}
+	switch op {
+	case token.LSS:
+		v.I = v.I.Meet(AtMost(yv.Hi - step))
+		if s, extra, ok := f.lenOperand(env, y); ok && extra <= 0 {
+			v = v.withLtLen(s)
+		}
+	case token.LEQ:
+		v.I = v.I.Meet(AtMost(yv.Hi))
+		if s, extra, ok := f.lenOperand(env, y); ok && extra <= -step && step > 0 {
+			v = v.withLtLen(s)
+		}
+	case token.GTR:
+		v.I = v.I.Meet(AtLeast(yv.Lo + step))
+	case token.GEQ:
+		v.I = v.I.Meet(AtLeast(yv.Lo))
+	case token.EQL:
+		v.I = v.I.Meet(yv)
+		if s, extra, ok := f.lenOperand(env, y); ok && extra <= -step && step > 0 {
+			v = v.withLtLen(s)
+		}
+	case token.NEQ:
+		if isInt && eqF(yv.Lo, yv.Hi) {
+			if eqF(v.I.Lo, yv.Lo) {
+				v.I = v.I.Meet(AtLeast(yv.Lo + 1))
+			} else if eqF(v.I.Hi, yv.Hi) {
+				v.I = v.I.Meet(AtMost(yv.Hi - 1))
+			}
+		}
+	}
+	if v.I.IsEmpty() {
+		// The branch contradicts the incoming fact: the edge is infeasible.
+		return Env{}
+	}
+	return env.with(r, v)
+}
+
+// lenOperand decomposes y as len(s) + extra (extra a constant, possibly
+// negative), the shapes bounds guards are written in: i < len(s),
+// i <= len(s)-1, i < len(s)-margin — and, through the LenOf crumb, a
+// variable previously bound by `n := len(s)`.
+func (f *Func) lenOperand(env Env, y ast.Expr) (s Ref, extra float64, ok bool) {
+	switch y := ast.Unparen(y).(type) {
+	case *ast.CallExpr:
+		if id, isID := ast.Unparen(y.Fun).(*ast.Ident); isID && len(y.Args) == 1 {
+			if b, isB := f.Info.Uses[id].(*types.Builtin); isB && b.Name() == "len" {
+				if r, got := f.refOf(y.Args[0]); got {
+					return r, 0, true
+				}
+			}
+		}
+	case *ast.BinaryExpr:
+		if y.Op == token.ADD || y.Op == token.SUB {
+			if c, isC := constInterval(f.Info, y.Y); isC && eqF(c.Lo, c.Hi) {
+				if s, e, got := f.lenOperand(env, y.X); got {
+					if y.Op == token.SUB {
+						return s, e - c.Lo, true
+					}
+					return s, e + c.Lo, true
+				}
+			}
+		}
+	case *ast.Ident:
+		if r, got := f.refOf(y); got {
+			for s := range env.Get(r).LenOf {
+				return s, 0, true
+			}
+		}
+	}
+	return Ref{}, 0, false
+}
+
+// valOf evaluates an expression to a full abstract value: the interval,
+// inherited relational facts when the RHS is itself a tracked ref, and the
+// coordinate taint of product-shaped arithmetic.
+func (f *Func) valOf(env Env, e ast.Expr) Val {
+	if r, ok := f.refOf(e); ok {
+		v := env.Get(r)
+		if v.I.IsTop() {
+			v.I = f.eval(env, e)
+		}
+		return v
+	}
+	return Val{I: f.eval(env, e), Coord: f.isCoordExpr(env, e)}
+}
+
+// isCoordExpr reports whether the expression has the linearized-coordinate
+// shape gridbounds keys on: it contains a product of two non-constant
+// operands, or reads a variable already tainted as coordinate-derived.
+func (f *Func) isCoordExpr(env Env, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.MUL && !isConstExpr(f.Info, n.X) && !isConstExpr(f.Info, n.Y) &&
+				f.isIntExpr(n) {
+				found = true
+				return false
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			if r, ok := f.refOf(n.(ast.Expr)); ok {
+				if env.Get(r).Coord {
+					found = true
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			return false // a call result is not itself a coordinate product
+		}
+		return true
+	})
+	return found
+}
+
+// refOf resolves an expression to a tracked storage location.
+func (f *Func) refOf(e ast.Expr) (Ref, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := f.Info.Uses[e]
+		if obj == nil {
+			obj = f.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			return Ref{Root: v}, true
+		}
+	case *ast.SelectorExpr:
+		sel := f.Info.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return Ref{}, false
+		}
+		base, ok := f.refOf(e.X)
+		if !ok || base.Path != "" && len(base.Path) > 64 {
+			return Ref{}, false
+		}
+		return Ref{Root: base.Root, Path: base.Path + "." + e.Sel.Name}, true
+	}
+	return Ref{}, false
+}
+
+// hasOpaqueCall reports whether the node contains a call that may mutate
+// state the environment tracks (anything but builtins).
+func (f *Func) hasOpaqueCall(n ast.Node) bool {
+	found := false
+	cfg.Visit(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := f.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			if tv, ok := f.Info.Types[call.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isIntExpr reports whether the expression's static type is integral.
+func (f *Func) isIntExpr(e ast.Expr) bool {
+	if f.intKind == nil {
+		f.intKind = make(map[ast.Expr]bool)
+	}
+	if v, ok := f.intKind[e]; ok {
+		return v
+	}
+	t := f.Info.Types[e].Type
+	v := t != nil && isIntegerType(t)
+	f.intKind[e] = v
+	return v
+}
+
+// findAddrTaken collects the local variables whose address is taken
+// anywhere in the body: opaque calls may mutate them.
+func findAddrTaken(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ue, ok := n.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.AND {
+			return true
+		}
+		if id, ok := ast.Unparen(ue.X).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// constInterval returns the singleton interval of a constant expression.
+func constInterval(info *types.Info, e ast.Expr) (Interval, bool) {
+	tv := info.Types[e]
+	if tv.Value == nil {
+		return Top, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		if v, ok := constant.Float64Val(constant.ToFloat(tv.Value)); ok {
+			return Const(v), true
+		}
+	}
+	return Top, false
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	return info.Types[e].Value != nil
+}
+
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isUnsignedType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+func isUnsignedExpr(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	return t != nil && isUnsignedType(t)
+}
+
+func isSliceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func hasFieldSeg(path, seg string) bool {
+	for i := 0; i+len(seg) <= len(path); i++ {
+		if path[i:i+len(seg)] == seg {
+			end := i + len(seg)
+			if end == len(path) || path[end] == '.' || path[end] == '#' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func lastDot(path string) int {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '.' {
+			return i
+		}
+	}
+	return 0
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absF(a float64) float64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

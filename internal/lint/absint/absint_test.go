@@ -1,0 +1,661 @@
+package absint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"math"
+	"testing"
+)
+
+// --- Interval lattice laws -------------------------------------------------
+
+var lawSamples = []Interval{
+	Top, Empty, Unit, Const(0), Const(1), Const(-3),
+	Range(-2, 5), Range(0, 10), AtLeast(0), AtLeast(2), AtMost(-1), AtMost(7),
+	Range(3, 3), Range(-1e6, 1e6),
+}
+
+func TestJoinLaws(t *testing.T) {
+	for _, a := range lawSamples {
+		for _, b := range lawSamples {
+			if !a.Join(b).Eq(b.Join(a)) {
+				t.Errorf("join not commutative: %v ⊔ %v = %v, %v ⊔ %v = %v",
+					a, b, a.Join(b), b, a, b.Join(a))
+			}
+			for _, c := range lawSamples {
+				if !a.Join(b).Join(c).Eq(a.Join(b.Join(c))) {
+					t.Errorf("join not associative on %v, %v, %v", a, b, c)
+				}
+			}
+		}
+		if !a.Join(a).Eq(a) {
+			t.Errorf("join not idempotent on %v", a)
+		}
+		if !a.Join(Empty).Eq(a) {
+			t.Errorf("empty not join identity on %v", a)
+		}
+	}
+}
+
+func TestMeetLaws(t *testing.T) {
+	for _, a := range lawSamples {
+		for _, b := range lawSamples {
+			if !a.Meet(b).Eq(b.Meet(a)) {
+				t.Errorf("meet not commutative: %v ⊓ %v vs %v ⊓ %v", a, b, b, a)
+			}
+			for _, c := range lawSamples {
+				if !a.Meet(b).Meet(c).Eq(a.Meet(b.Meet(c))) {
+					t.Errorf("meet not associative on %v, %v, %v", a, b, c)
+				}
+			}
+		}
+		if !a.Meet(a).Eq(a) {
+			t.Errorf("meet not idempotent on %v", a)
+		}
+		if !a.Meet(Top).Eq(a) {
+			t.Errorf("top not meet identity on %v", a)
+		}
+	}
+}
+
+func TestAbsorption(t *testing.T) {
+	for _, a := range lawSamples {
+		for _, b := range lawSamples {
+			if !a.Join(a.Meet(b)).Eq(a) {
+				t.Errorf("absorption a ⊔ (a ⊓ b) failed on %v, %v", a, b)
+			}
+			// a ⊓ (a ⊔ b) = a holds only when join is exact; the convex hull
+			// is exact for intervals, so it must hold.
+			if !a.Meet(a.Join(b)).Eq(a) {
+				t.Errorf("absorption a ⊓ (a ⊔ b) failed on %v, %v", a, b)
+			}
+		}
+	}
+}
+
+// TestWideningTermination constructs an infinite ascending chain — the
+// iterates of a counter loop — and checks widening stabilizes it in a
+// bounded number of steps (the thresholds plus the jump to +∞).
+func TestWideningTermination(t *testing.T) {
+	cur := Const(0)
+	steps := 0
+	for {
+		next := cur.Join(cur.Add(Const(1))) // the loop body: i = i + 1
+		w := cur.Widen(next)
+		if w.Eq(cur) {
+			break
+		}
+		cur = w
+		steps++
+		if steps > len(wideningThresholds)+2 {
+			t.Fatalf("widening did not stabilize after %d steps: %v", steps, cur)
+		}
+	}
+	if !math.IsInf(cur.Hi, 1) || cur.Lo != 0 {
+		t.Errorf("ascending counter should widen to [0, +inf), got %v", cur)
+	}
+
+	// Descending chain on the lower bound.
+	cur = Const(0)
+	steps = 0
+	for {
+		next := cur.Join(cur.Sub(Const(1)))
+		w := cur.Widen(next)
+		if w.Eq(cur) {
+			break
+		}
+		cur = w
+		steps++
+		if steps > len(wideningThresholds)+2 {
+			t.Fatalf("descending widening did not stabilize after %d steps: %v", steps, cur)
+		}
+	}
+	if !math.IsInf(cur.Lo, -1) || cur.Hi != 0 {
+		t.Errorf("descending counter should widen to (-inf, 0], got %v", cur)
+	}
+}
+
+// TestWideningThresholds: an iterate oscillating inside [0,1] must stop at
+// the 1 threshold, not blow through to +∞ — the property probflow relies on.
+func TestWideningThresholds(t *testing.T) {
+	got := Range(0, 0.5).Widen(Range(0, 0.9))
+	if !got.Eq(Unit) {
+		t.Errorf("widening [0,0.5] by [0,0.9] should land on [0,1], got %v", got)
+	}
+	got = Range(-0.5, 2).Widen(Range(-0.9, 2))
+	if got.Lo != -1 || got.Hi != 2 {
+		t.Errorf("lower widening should land on -1 threshold, got %v", got)
+	}
+}
+
+func TestWideningIsUpperBound(t *testing.T) {
+	for _, a := range lawSamples {
+		for _, b := range lawSamples {
+			w := a.Widen(b)
+			if !a.In(w) || !b.In(w) {
+				t.Errorf("Widen(%v, %v) = %v is not an upper bound", a, b, w)
+			}
+		}
+	}
+}
+
+func TestNarrowStaysBetween(t *testing.T) {
+	for _, a := range lawSamples {
+		for _, b := range lawSamples {
+			if !b.In(a) {
+				continue // narrowing is only applied to descending pairs
+			}
+			n := a.Narrow(b)
+			if !b.In(n) || !n.In(a) {
+				t.Errorf("Narrow(%v, %v) = %v escapes [next, prev]", a, b, n)
+			}
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		got, want Interval
+		name      string
+	}{
+		{Range(1, 2).Add(Range(10, 20)), Range(11, 22), "add"},
+		{Range(1, 2).Sub(Range(0, 1)), Range(0, 2), "sub"},
+		{Range(-2, 3).Mul(Range(-1, 4)), Range(-8, 12), "mul mixed"},
+		{Unit.Mul(Unit), Unit, "unit closed under product"},
+		{Const(1).Sub(Unit), Unit, "complement of probability"},
+		{Range(5, 5).Div(Range(2, 2)).Trunc(), Const(2), "integer division truncates"},
+		{Range(-5, -5).Div(Range(2, 2)).Trunc(), Const(-2), "negative trunc toward zero"},
+		{Range(1, 3).Div(Range(-1, 1)), Top, "division by zero-straddling"},
+		{AtLeast(0).Mul(Const(0)), Const(0), "0 · ∞ = 0"},
+		{Range(0, 10).Neg(), Range(-10, 0), "neg"},
+	}
+	for _, c := range cases {
+		if !c.got.Eq(c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// --- Environment lattice ---------------------------------------------------
+
+func TestEnvLatticeLaws(t *testing.T) {
+	v := types.NewVar(token.NoPos, nil, "x", types.Typ[types.Int])
+	r := Ref{Root: v}
+	lat := envLattice{}
+	bot := lat.Bottom()
+	a := Env{reached: true, vals: map[Ref]Val{r: {I: Range(0, 5)}}}
+	b := Env{reached: true, vals: map[Ref]Val{r: {I: Range(3, 9)}}}
+
+	if !lat.Equal(lat.Join(a, b), lat.Join(b, a)) {
+		t.Error("env join not commutative")
+	}
+	if !lat.Equal(lat.Join(a, bot), a) || !lat.Equal(lat.Join(bot, a), a) {
+		t.Error("bottom not join identity")
+	}
+	if !lat.Equal(lat.Join(a, a), a) {
+		t.Error("env join not idempotent")
+	}
+	j := lat.Join(a, b)
+	if got := j.Get(r).I; !got.Eq(Range(0, 9)) {
+		t.Errorf("env join should hull intervals, got %v", got)
+	}
+}
+
+// --- Interpreter -----------------------------------------------------------
+
+// analyzeSnippet type-checks one function and runs the interpreter on it.
+func analyzeSnippet(t *testing.T, src string, opts Options) (*Func, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	_ = pkg
+	var decl *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && fd.Name.Name == "g" {
+			decl = fd
+			break
+		}
+	}
+	if decl == nil {
+		t.Fatal("no function in snippet")
+	}
+	var params []*types.Var
+	for _, fld := range decl.Type.Params.List {
+		for _, name := range fld.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				params = append(params, v)
+			}
+		}
+	}
+	return Analyze(info, decl.Body, params, opts), info, fset
+}
+
+// intervalAt finds the marked expression (immediately preceding a
+// line-comment is too fragile; instead we find the unique identifier use
+// named name inside a call to sink) and returns its interval there.
+func intervalAtSink(t *testing.T, f *Func, info *types.Info) Interval {
+	t.Helper()
+	var got Interval
+	found := false
+	f.Walk(func(n ast.Node, env Env) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "sink" || len(call.Args) != 1 {
+			return
+		}
+		got = f.EvalIn(env, call.Args[0])
+		found = true
+	})
+	if !found {
+		t.Fatal("no sink(x) call in snippet")
+	}
+	return got
+}
+
+const sinkDecl = "func sink(v int) {}\nfunc sinkf(v float64) {}\n"
+
+func TestLoopNarrowing(t *testing.T) {
+	// The classic result: after widening to [0,+inf) the narrowing pass
+	// recovers i ∈ [0, 9] inside the loop body.
+	f, info, _ := analyzeSnippet(t, sinkDecl+`
+func g() {
+	for i := 0; i < 10; i++ {
+		sink(i)
+	}
+}`, Options{})
+	got := intervalAtSink(t, f, info)
+	if !got.Eq(Range(0, 9)) {
+		t.Errorf("loop body index should be [0, 9], got %v", got)
+	}
+}
+
+func TestLoopVariableBound(t *testing.T) {
+	f, info, _ := analyzeSnippet(t, sinkDecl+`
+func g(n int) {
+	for i := 0; i < n; i++ {
+		sink(i)
+	}
+}`, Options{})
+	got := intervalAtSink(t, f, info)
+	if got.Lo != 0 || !math.IsInf(got.Hi, 1) {
+		t.Errorf("loop over unknown n: index should be [0, +inf), got %v", got)
+	}
+}
+
+func TestBranchRefinement(t *testing.T) {
+	f, info, _ := analyzeSnippet(t, sinkDecl+`
+func g(x int) {
+	if x >= 0 && x < 100 {
+		sink(x)
+	}
+}`, Options{})
+	got := intervalAtSink(t, f, info)
+	if !got.Eq(Range(0, 99)) {
+		t.Errorf("guarded x should be [0, 99], got %v", got)
+	}
+}
+
+func TestGuardClauseRefinement(t *testing.T) {
+	// The early-return shape: after `if x < 0 { return }` x is ≥ 0.
+	f, info, _ := analyzeSnippet(t, sinkDecl+`
+func g(x int) {
+	if x < 0 {
+		return
+	}
+	sink(x)
+}`, Options{})
+	got := intervalAtSink(t, f, info)
+	if got.Lo != 0 {
+		t.Errorf("x after negative guard should have Lo = 0, got %v", got)
+	}
+}
+
+func TestInfeasibleBranch(t *testing.T) {
+	// x == 5 inside x > 10: the true edge is infeasible, the sink env is
+	// unreachable and evaluates to empty.
+	f, _, _ := analyzeSnippet(t, sinkDecl+`
+func g(x int) {
+	if x > 10 {
+		if x == 5 {
+			sink(x)
+		}
+	}
+}`, Options{})
+	reachedSink := false
+	f.Walk(func(n ast.Node, env Env) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" && env.Reached() {
+				reachedSink = true
+			}
+		}
+	})
+	if reachedSink {
+		t.Error("sink under contradictory guards should be unreachable")
+	}
+}
+
+func TestLtLenFact(t *testing.T) {
+	f, info, _ := analyzeSnippet(t, sinkDecl+`
+func g(s []int, i int) int {
+	if i >= 0 && i < len(s) {
+		return s[i]
+	}
+	return 0
+}`, Options{})
+	checked := false
+	f.Walk(func(n ast.Node, env Env) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return
+		}
+		ix, ok := ret.Results[0].(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		ok2, why := f.IndexProven(env, ix.X, ix.Index)
+		if !ok2 {
+			t.Errorf("guarded s[i] should be proven: %s", why)
+		}
+		checked = true
+	})
+	if !checked {
+		t.Fatal("no indexed return found")
+	}
+	_ = info
+}
+
+func TestLenAliasProven(t *testing.T) {
+	// n := len(s) then i < n must prove s[i], without spelling len(s) in
+	// the guard.
+	f, _, _ := analyzeSnippet(t, sinkDecl+`
+func g(s []int) int {
+	t := 0
+	n := len(s)
+	for i := 0; i < n; i++ {
+		t += s[i]
+	}
+	return t
+}`, Options{})
+	proven := false
+	f.Walk(func(n ast.Node, env Env) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ADD_ASSIGN {
+			return
+		}
+		ix, ok := as.Rhs[0].(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		ok2, why := f.IndexProven(env, ix.X, ix.Index)
+		if !ok2 {
+			t.Errorf("s[i] under i < n with n := len(s) should be proven: %s", why)
+		}
+		proven = true
+	})
+	if !proven {
+		t.Fatal("no index expression found")
+	}
+}
+
+func TestRangeIndexProven(t *testing.T) {
+	f, _, _ := analyzeSnippet(t, sinkDecl+`
+func g(s []int) int {
+	t := 0
+	for i := range s {
+		t += s[i]
+	}
+	return t
+}`, Options{})
+	proven := false
+	f.Walk(func(n ast.Node, env Env) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ADD_ASSIGN {
+			return
+		}
+		ix, ok := as.Rhs[0].(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		ok2, why := f.IndexProven(env, ix.X, ix.Index)
+		if !ok2 {
+			t.Errorf("range index s[i] should be proven: %s", why)
+		}
+		proven = true
+	})
+	if !proven {
+		t.Fatal("no index expression found")
+	}
+}
+
+func TestMakeLenAndConstIndex(t *testing.T) {
+	f, _, _ := analyzeSnippet(t, sinkDecl+`
+func g(n int) {
+	if n <= 0 {
+		return
+	}
+	s := make([]int, n)
+	s[0] = 1
+	_ = s
+}`, Options{})
+	proven := false
+	f.Walk(func(n ast.Node, env Env) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return
+		}
+		ix, ok := as.Lhs[0].(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		ok2, why := f.IndexProven(env, ix.X, ix.Index)
+		if !ok2 {
+			t.Errorf("s[0] after make([]int, n) with n ≥ 1 should be proven: %s", why)
+		}
+		proven = true
+	})
+	if !proven {
+		t.Fatal("no index store found")
+	}
+}
+
+func TestUncheckedIndexUnproven(t *testing.T) {
+	f, _, _ := analyzeSnippet(t, sinkDecl+`
+func g(s []int, y, w, x int) int {
+	return s[y*w+x]
+}`, Options{})
+	flagged := false
+	f.Walk(func(n ast.Node, env Env) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return
+		}
+		ix, ok := ret.Results[0].(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		if ok2, _ := f.IndexProven(env, ix.X, ix.Index); !ok2 {
+			flagged = true
+		}
+		if !f.ValueOf(env, ix.Index).Coord && !f.isCoordExpr(env, ix.Index) {
+			t.Error("y*w+x should be coordinate-tainted")
+		}
+	})
+	if !flagged {
+		t.Error("unchecked s[y*w+x] must be unproven")
+	}
+}
+
+func TestCoordTaintFlowsThroughAssignment(t *testing.T) {
+	f, _, _ := analyzeSnippet(t, sinkDecl+`
+func g(s []int, y, w, x int) int {
+	idx := y*w + x
+	return s[idx]
+}`, Options{})
+	sawTaint := false
+	f.Walk(func(n ast.Node, env Env) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return
+		}
+		if ix, ok := ret.Results[0].(*ast.IndexExpr); ok {
+			if f.ValueOf(env, ix.Index).Coord {
+				sawTaint = true
+			}
+		}
+	})
+	if !sawTaint {
+		t.Error("coordinate taint should flow through idx := y*w + x")
+	}
+}
+
+func TestProbabilityPropagation(t *testing.T) {
+	seed := func(v *types.Var) (Interval, bool) {
+		if v.Name() == "p" || v.Name() == "q" {
+			return Unit, true
+		}
+		return Top, false
+	}
+	f, _, _ := analyzeSnippet(t, sinkDecl+`
+func g(p, q float64) {
+	prod := p * q
+	comp := 1 - p
+	bad := p + q
+	sinkf(prod)
+	sinkf(comp)
+	sinkf(bad)
+}`, Options{ParamSeed: seed})
+	want := map[string]Interval{"prod": Unit, "comp": Unit, "bad": Range(0, 2)}
+	f.Walk(func(n ast.Node, env Env) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "sinkf" {
+			return
+		}
+		arg := call.Args[0].(*ast.Ident)
+		got := f.EvalIn(env, arg)
+		if w, ok := want[arg.Name]; ok && !got.Eq(w) {
+			t.Errorf("%s should be %v, got %v", arg.Name, w, got)
+		}
+	})
+}
+
+func TestCallHavocsFields(t *testing.T) {
+	f, _, _ := analyzeSnippet(t, sinkDecl+`
+type h struct{ w int }
+func opaque()
+func g(v *h) {
+	if v.w > 0 {
+		opaque()
+		sink(v.w)
+	}
+}`, Options{})
+	f.Walk(func(n ast.Node, env Env) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+			got := f.EvalIn(env, call.Args[0])
+			if !got.IsTop() {
+				t.Errorf("v.w after opaque call should be ⊤, got %v", got)
+			}
+		}
+	})
+}
+
+func TestAppendGrowsLen(t *testing.T) {
+	f, _, _ := analyzeSnippet(t, sinkDecl+`
+func g() {
+	s := make([]int, 0)
+	s = append(s, 1)
+	s = append(s, 2)
+	sink(len(s))
+}`, Options{})
+	var got Interval
+	found := false
+	f.Walk(func(n ast.Node, env Env) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+			got = f.EvalIn(env, call.Args[0])
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("no sink")
+	}
+	if !got.Eq(Const(2)) {
+		t.Errorf("len after two appends to empty slice should be [2, 2], got %v", got)
+	}
+}
+
+// TestInterpreterTermination runs the interpreter over a deliberately nasty
+// nest of loops whose counters ascend without bound — termination is the
+// point of the widening; the test failing would hang, so it is guarded by
+// the package test timeout.
+func TestInterpreterTermination(t *testing.T) {
+	f, _, _ := analyzeSnippet(t, sinkDecl+`
+func g(n int) {
+	x := 0
+	for {
+		x++
+		for j := 0; ; j += x {
+			if j > n {
+				break
+			}
+			x += j
+		}
+		if x < 0 {
+			break
+		}
+	}
+	sink(x)
+}`, Options{})
+	if f == nil {
+		t.Fatal("analysis returned nil")
+	}
+}

@@ -1,0 +1,301 @@
+package absint
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Ref identifies one abstract storage location: a local variable or
+// parameter (Path == ""), a field path rooted at one ("h" + ".w" for h.w,
+// nested as ".g.tos"), or the synthetic length cell of a slice-valued ref
+// (Path suffix "#len"). Field paths read through pointers share the struct
+// identity of their root, which is sound under the interpreter's kill
+// discipline: any write through a same-named field or any opaque call
+// havocs them.
+type Ref struct {
+	Root *types.Var
+	Path string
+}
+
+// lenSuffix marks the synthetic length cell of a slice ref.
+const lenSuffix = "#len"
+
+// lenRef returns the length cell of a slice-valued ref.
+func lenRef(r Ref) Ref { return Ref{r.Root, r.Path + lenSuffix} }
+
+// isLen reports whether r is a length cell.
+func (r Ref) isLen() bool { return strings.HasSuffix(r.Path, lenSuffix) }
+
+// isField reports whether r reaches through at least one field selection.
+func (r Ref) isField() bool { return strings.Contains(r.Path, ".") }
+
+// String renders the ref the way the source spells it.
+func (r Ref) String() string {
+	s := r.Root.Name() + strings.TrimSuffix(r.Path, lenSuffix)
+	if r.isLen() {
+		return "len(" + s + ")"
+	}
+	return s
+}
+
+// Val is the abstract value of one ref: its numeric interval, the set of
+// slice refs it is proven strictly below the length of (established by
+// branch refinement: `i < len(s)` on the true edge, `i >= len(s)` on the
+// false one), and a taint bit marking values derived from a non-constant
+// product — the "linearized 2D coordinate" shape gridbounds keys on.
+type Val struct {
+	I     Interval
+	LtLen map[Ref]bool
+	// LenOf records that this value equals len(s) for each s in the set
+	// (established by `n := len(s)`), so a later `i < n` proves i < len(s)
+	// without the guard spelling out the len call.
+	LenOf map[Ref]bool
+	Coord bool
+}
+
+// isTop reports whether the value carries no information at all (such
+// entries are dropped from the environment).
+func (v Val) isTop() bool {
+	return v.I.IsTop() && len(v.LtLen) == 0 && len(v.LenOf) == 0 && !v.Coord
+}
+
+func (v Val) eq(o Val) bool {
+	if !v.I.Eq(o.I) || v.Coord != o.Coord || len(v.LtLen) != len(o.LtLen) || len(v.LenOf) != len(o.LenOf) {
+		return false
+	}
+	for r := range v.LtLen {
+		if !o.LtLen[r] {
+			return false
+		}
+	}
+	for r := range v.LenOf {
+		if !o.LenOf[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// withLtLen returns a copy of v with s added to its below-length set.
+func (v Val) withLtLen(s Ref) Val {
+	lt := make(map[Ref]bool, len(v.LtLen)+1)
+	for r := range v.LtLen {
+		lt[r] = true
+	}
+	lt[s] = true
+	v.LtLen = lt
+	return v
+}
+
+// joinVal joins pointwise: interval hull, below-length and length-alias
+// intersection (must-facts), coordinate-taint union (a may-fact).
+func joinVal(a, b Val) Val {
+	out := Val{I: a.I.Join(b.I), Coord: a.Coord || b.Coord}
+	out.LtLen = intersectRefs(a.LtLen, b.LtLen)
+	out.LenOf = intersectRefs(a.LenOf, b.LenOf)
+	return out
+}
+
+func intersectRefs(a, b map[Ref]bool) map[Ref]bool {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	var out map[Ref]bool
+	for r := range a {
+		if b[r] {
+			if out == nil {
+				out = make(map[Ref]bool)
+			}
+			out[r] = true
+		}
+	}
+	return out
+}
+
+// Env is the abstract state at one program point: reached marks the point
+// as reachable from the entry (the zero Env is the lattice bottom), vals
+// binds refs to abstract values; refs absent from vals are unconstrained
+// (⊤). All operations are copy-on-write, as the dataflow solver requires.
+type Env struct {
+	reached bool
+	vals    map[Ref]Val
+}
+
+// Reached reports whether the program point is reachable.
+func (e Env) Reached() bool { return e.reached }
+
+// Get returns the abstract value bound to r (⊤ when unbound).
+func (e Env) Get(r Ref) Val {
+	if v, ok := e.vals[r]; ok {
+		return v
+	}
+	return Val{I: Top}
+}
+
+// with returns a copy with r bound to v (dropping no-information values).
+func (e Env) with(r Ref, v Val) Env {
+	out := Env{reached: e.reached, vals: make(map[Ref]Val, len(e.vals)+1)}
+	for k, kv := range e.vals {
+		out.vals[k] = kv
+	}
+	if v.isTop() {
+		delete(out.vals, r)
+	} else {
+		out.vals[r] = v
+	}
+	return out
+}
+
+// kill unbinds every ref drop reports true for, and removes killed refs
+// from every surviving below-length set (a fact about len(s) dies with s).
+func (e Env) kill(drop func(Ref) bool) Env {
+	out := Env{reached: e.reached, vals: make(map[Ref]Val, len(e.vals))}
+	for k, v := range e.vals {
+		if drop(k) {
+			continue
+		}
+		v.LtLen = scrubRefs(v.LtLen, drop)
+		v.LenOf = scrubRefs(v.LenOf, drop)
+		if v.isTop() {
+			continue
+		}
+		out.vals[k] = v
+	}
+	return out
+}
+
+// scrubRefs drops the refs drop reports for (or whose length cell it
+// drops) from a relational set — a fact about len(s) dies with s.
+func scrubRefs(set map[Ref]bool, drop func(Ref) bool) map[Ref]bool {
+	if len(set) == 0 {
+		return nil
+	}
+	var out map[Ref]bool
+	for s := range set {
+		if drop(s) || drop(lenRef(s)) {
+			continue
+		}
+		if out == nil {
+			out = make(map[Ref]bool, len(set))
+		}
+		out[s] = true
+	}
+	return out
+}
+
+// killRef unbinds one ref, its length cell, and every below-length fact
+// naming it — the kill set of an assignment to a slice or scalar.
+func (e Env) killRef(r Ref) Env {
+	lr := lenRef(r)
+	return e.kill(func(k Ref) bool { return k == r || k == lr })
+}
+
+// refs returns the bound refs in deterministic order (tests, debugging).
+func (e Env) refs() []Ref {
+	out := make([]Ref, 0, len(e.vals))
+	for r := range e.vals {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Root != b.Root {
+			return a.Root.Pos() < b.Root.Pos()
+		}
+		return a.Path < b.Path
+	})
+	return out
+}
+
+// envLattice is the widening lattice over environments the solver runs on.
+type envLattice struct{}
+
+// Bottom returns the unreachable environment.
+func (envLattice) Bottom() Env { return Env{} }
+
+// Join merges two environments: an unreachable side is the identity;
+// otherwise values join pointwise, with refs bound on only one side
+// surviving solely as coordinate taint (their interval information is ⊤ on
+// the absent side, but taint is a may-property and unions).
+func (envLattice) Join(a, b Env) Env {
+	if !a.reached {
+		return b
+	}
+	if !b.reached {
+		return a
+	}
+	out := Env{reached: true, vals: make(map[Ref]Val, len(a.vals))}
+	for r, av := range a.vals {
+		if bv, ok := b.vals[r]; ok {
+			if j := joinVal(av, bv); !j.isTop() {
+				out.vals[r] = j
+			}
+		} else if av.Coord {
+			out.vals[r] = Val{I: Top, Coord: true}
+		}
+	}
+	for r, bv := range b.vals {
+		if _, ok := a.vals[r]; !ok && bv.Coord {
+			out.vals[r] = Val{I: Top, Coord: true}
+		}
+	}
+	return out
+}
+
+// Equal implements the fixpoint termination test.
+func (envLattice) Equal(a, b Env) bool {
+	if a.reached != b.reached || len(a.vals) != len(b.vals) {
+		return false
+	}
+	for r, av := range a.vals {
+		bv, ok := b.vals[r]
+		if !ok || !av.eq(bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Widen extrapolates intervals pointwise at loop heads; refs unstable
+// enough to disappear from next have already been dropped by Join, so the
+// domain's only infinite ascent — interval endpoints — is cut here.
+func (envLattice) Widen(prev, next Env) Env {
+	if !prev.reached {
+		return next
+	}
+	if !next.reached {
+		return prev
+	}
+	out := Env{reached: true, vals: make(map[Ref]Val, len(next.vals))}
+	for r, nv := range next.vals {
+		if pv, ok := prev.vals[r]; ok {
+			w := nv
+			w.I = pv.I.Widen(nv.I)
+			out.vals[r] = w
+		} else if nv.Coord {
+			// Unknown in the previous iterate: interval widens to ⊤, taint
+			// survives.
+			out.vals[r] = Val{I: Top, Coord: nv.Coord}
+		}
+	}
+	return out
+}
+
+// Narrow recovers precision after the ascending phase: widened-to-infinite
+// bounds adopt the recomputed next, refs the widening dropped come back.
+func (envLattice) Narrow(prev, next Env) Env {
+	if !prev.reached || !next.reached {
+		return next
+	}
+	out := Env{reached: true, vals: make(map[Ref]Val, len(next.vals))}
+	for r, nv := range next.vals {
+		if pv, ok := prev.vals[r]; ok {
+			n := nv
+			n.I = pv.I.Narrow(nv.I)
+			out.vals[r] = n
+		} else {
+			out.vals[r] = nv
+		}
+	}
+	return out
+}

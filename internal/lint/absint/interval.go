@@ -1,0 +1,292 @@
+// Package absint is the value-range abstract interpretation tier of
+// medalint: a flow-sensitive interval analysis over the per-function CFGs
+// of internal/lint/cfg, solved with the widening worklist solver of
+// internal/lint/dataflow. The domain is the classic interval lattice with
+// ±∞ endpoints, extended with two relational crumbs the grid-index proofs
+// need: per-variable "strictly below len(s)" facts established by branch
+// conditions, and symbolic length intervals for slices created by make or
+// grown by append. Branch conditions refine the environment on each edge
+// (`if x < chip.W` bounds x on the true edge; `if i >= len(s) { return }`
+// proves i < len(s) after the guard), and widening-with-thresholds at loop
+// heads guarantees termination on unbounded counters while the narrowing
+// pass recovers `for i := 0; i < n; i++` ⇒ i ∈ [0, n-1].
+//
+// Two analyzers consume the interpreter directly: gridbounds (prove or
+// flag coordinate-derived slice indexing) and probflow (confine computed
+// probabilities to [0,1] through products, complements and normalization,
+// interprocedurally via return-interval facts). Both instantiate the same
+// machinery; hooks on Options inject their domain assumptions (probability
+// parameter seeding, callee return intervals).
+package absint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is one value range with endpoints in ℝ ∪ {±∞}. Integer-typed
+// variables use the same representation (float64 holds every int the grid
+// arithmetic can produce exactly, far below 2⁵³); integer-specific
+// refinements (x < y ⇒ x ≤ y-1) are applied by the interpreter where the
+// static type justifies them. The empty interval (Lo > Hi) is the bottom
+// element: unreachable, or a branch refinement that contradicts the
+// incoming fact.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Canonical elements.
+var (
+	// Top is the unconstrained interval (-∞, +∞).
+	Top = Interval{math.Inf(-1), math.Inf(1)}
+	// Empty is the canonical bottom element.
+	Empty = Interval{1, 0}
+	// Unit is [0, 1], the probability range.
+	Unit = Interval{0, 1}
+)
+
+// Const returns the singleton interval [v, v].
+func Const(v float64) Interval { return Interval{v, v} }
+
+// Range returns [lo, hi].
+func Range(lo, hi float64) Interval { return Interval{lo, hi} }
+
+// AtLeast returns [lo, +∞).
+func AtLeast(lo float64) Interval { return Interval{lo, math.Inf(1)} }
+
+// AtMost returns (-∞, hi].
+func AtMost(hi float64) Interval { return Interval{math.Inf(-1), hi} }
+
+// IsEmpty reports whether the interval contains no value.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// IsTop reports whether the interval is unconstrained on both sides.
+func (iv Interval) IsTop() bool { return math.IsInf(iv.Lo, -1) && math.IsInf(iv.Hi, 1) }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v float64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// In reports whether the interval is entirely contained in outer (the
+// empty interval is contained in everything).
+func (iv Interval) In(outer Interval) bool {
+	if iv.IsEmpty() {
+		return true
+	}
+	return outer.Lo <= iv.Lo && iv.Hi <= outer.Hi
+}
+
+// eqF is exact float64 equality for abstract-lattice endpoints. Interval
+// bounds are code-derived values the transfer functions copy around, not
+// measurements: the fixpoint termination argument needs bit-exact
+// comparison, and an epsilon here would make Widen/Narrow oscillate.
+func eqF(a, b float64) bool {
+	//lint:ignore floatcmp lattice endpoints compare exactly; the fixpoint test must not use an epsilon
+	return a == b
+}
+
+// Eq reports interval equality; all empty intervals are equal.
+func (iv Interval) Eq(o Interval) bool {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return iv.IsEmpty() == o.IsEmpty()
+	}
+	return eqF(iv.Lo, o.Lo) && eqF(iv.Hi, o.Hi)
+}
+
+// String renders the interval for diagnostics: [0, 1], [2, +inf), (-inf,
+// +inf), or ∅.
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "∅"
+	}
+	open, close, lo, hi := "[", "]", "", ""
+	if math.IsInf(iv.Lo, -1) {
+		open, lo = "(", "-inf"
+	} else {
+		lo = trimFloat(iv.Lo)
+	}
+	if math.IsInf(iv.Hi, 1) {
+		close, hi = ")", "+inf"
+	} else {
+		hi = trimFloat(iv.Hi)
+	}
+	return open + lo + ", " + hi + close
+}
+
+func trimFloat(v float64) string {
+	if eqF(v, math.Trunc(v)) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Join returns the least interval containing both (the convex hull).
+func (iv Interval) Join(o Interval) Interval {
+	if iv.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return iv
+	}
+	return Interval{math.Min(iv.Lo, o.Lo), math.Max(iv.Hi, o.Hi)}
+}
+
+// Meet returns the intersection.
+func (iv Interval) Meet(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return Empty
+	}
+	m := Interval{math.Max(iv.Lo, o.Lo), math.Min(iv.Hi, o.Hi)}
+	if m.IsEmpty() {
+		return Empty
+	}
+	return m
+}
+
+// wideningThresholds are the landing points widening jumps to before giving
+// up to ±∞: the bounds that matter to the medalint clients (0 and 1 confine
+// probabilities, -1/0 confine indices) stay finite one extra iteration, so
+// a loop that oscillates within [0,1] stabilizes there instead of at ⊤.
+var wideningThresholds = [...]float64{-1, 0, 1}
+
+// Widen extrapolates the unstable bounds of next relative to prev: a lower
+// bound that dropped jumps to the largest threshold at or below it (else
+// -∞), an upper bound that rose jumps to the smallest threshold at or above
+// it (else +∞). Stable bounds are kept, so ascending chains stabilize after
+// at most len(thresholds)+1 widenings per side.
+func (iv Interval) Widen(next Interval) Interval {
+	if iv.IsEmpty() {
+		return next
+	}
+	if next.IsEmpty() {
+		return iv
+	}
+	w := iv
+	if next.Lo < iv.Lo {
+		w.Lo = math.Inf(-1)
+		for i := len(wideningThresholds) - 1; i >= 0; i-- {
+			if t := wideningThresholds[i]; t <= next.Lo {
+				w.Lo = t
+				break
+			}
+		}
+	}
+	if next.Hi > iv.Hi {
+		w.Hi = math.Inf(1)
+		for _, t := range wideningThresholds {
+			if t >= next.Hi {
+				w.Hi = t
+				break
+			}
+		}
+	}
+	return w
+}
+
+// Narrow refines a widened interval with the recomputed next: infinite
+// bounds adopt next's (the information widening threw away), finite bounds
+// are kept (narrowing must never undercut the ascending solution).
+func (iv Interval) Narrow(next Interval) Interval {
+	if iv.IsEmpty() || next.IsEmpty() {
+		return next
+	}
+	n := iv
+	if math.IsInf(iv.Lo, -1) {
+		n.Lo = next.Lo
+	}
+	if math.IsInf(iv.Hi, 1) {
+		n.Hi = next.Hi
+	}
+	if n.IsEmpty() {
+		return Empty
+	}
+	return n
+}
+
+// Add returns the interval sum.
+func (iv Interval) Add(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return Empty
+	}
+	return Interval{addLo(iv.Lo, o.Lo), addHi(iv.Hi, o.Hi)}
+}
+
+// Sub returns the interval difference.
+func (iv Interval) Sub(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return Empty
+	}
+	return Interval{addLo(iv.Lo, -o.Hi), addHi(iv.Hi, -o.Lo)}
+}
+
+// Neg returns the negated interval.
+func (iv Interval) Neg() Interval {
+	if iv.IsEmpty() {
+		return Empty
+	}
+	return Interval{-iv.Hi, -iv.Lo}
+}
+
+// addLo/addHi add endpoints resolving the ∞ + (-∞) ambiguity toward the
+// sound side of each bound.
+func addLo(a, b float64) float64 {
+	if math.IsInf(a, -1) || math.IsInf(b, -1) {
+		return math.Inf(-1)
+	}
+	return a + b
+}
+
+func addHi(a, b float64) float64 {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.Inf(1)
+	}
+	return a + b
+}
+
+// Mul returns the interval product (min/max over endpoint products, with
+// 0·∞ resolved to 0 — the factor is exactly zero, so the product is).
+func (iv Interval) Mul(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return Empty
+	}
+	p := [4]float64{
+		mulEnd(iv.Lo, o.Lo), mulEnd(iv.Lo, o.Hi),
+		mulEnd(iv.Hi, o.Lo), mulEnd(iv.Hi, o.Hi),
+	}
+	lo, hi := p[0], p[0]
+	for _, v := range p[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return Interval{lo, hi}
+}
+
+func mulEnd(a, b float64) float64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a * b
+}
+
+// Div returns the interval quotient. A divisor interval containing zero
+// yields ⊤ (the analysis cannot exclude the singularity); empty operands
+// propagate.
+func (iv Interval) Div(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return Empty
+	}
+	if o.Contains(0) {
+		return Top
+	}
+	inv := Interval{1 / o.Hi, 1 / o.Lo}
+	return iv.Mul(inv)
+}
+
+// Trunc truncates both endpoints toward zero — the image of an interval
+// under Go's truncating conversions and integer division (trunc is
+// monotone, so applying it endpoint-wise is exact up to integrality).
+func (iv Interval) Trunc() Interval {
+	if iv.IsEmpty() {
+		return Empty
+	}
+	return Interval{math.Trunc(iv.Lo), math.Trunc(iv.Hi)}
+}

@@ -5,6 +5,7 @@ import (
 	"go/types"
 	"reflect"
 	"sort"
+	"strings"
 )
 
 // Fact is a piece of information an analyzer derives about a package-level
@@ -151,6 +152,64 @@ func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
 	}
 	copyFact(fact, src)
 	return true
+}
+
+// ObjectFactRecord is one exported object fact in serializable form: the
+// canonical object key plus the fact value. The incremental cache stores
+// these per package and injects them back on a warm run.
+type ObjectFactRecord struct {
+	Key  string
+	Fact Fact
+}
+
+// ObjectFactsOf returns the object facts attached to objects of the
+// package at path, sorted by key then fact type name — the deterministic
+// slice the incremental cache persists. An object's key is prefixed by its
+// package path ("pkg/path.Name"), and every analyzer exports facts only
+// about objects of the package under analysis, so the prefix identifies
+// the exporting pass.
+func (s *FactStore) ObjectFactsOf(path string) []ObjectFactRecord {
+	prefix := path + "."
+	var out []ObjectFactRecord
+	for k, f := range s.objects {
+		if strings.HasPrefix(k.obj, prefix) && !strings.Contains(k.obj[len(prefix):], "/") {
+			out = append(out, ObjectFactRecord{Key: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return reflect.TypeOf(out[i].Fact).String() < reflect.TypeOf(out[j].Fact).String()
+	})
+	return out
+}
+
+// PackageFactsOf returns the whole-package facts of the package at path,
+// sorted by fact type name.
+func (s *FactStore) PackageFactsOf(path string) []Fact {
+	var out []Fact
+	for k, f := range s.packages {
+		if k.path == path {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return reflect.TypeOf(out[i]).String() < reflect.TypeOf(out[j]).String()
+	})
+	return out
+}
+
+// InjectObjectFact stores a fact under a pre-canonicalized object key —
+// the cache's warm-path replacement for ExportObjectFact, which needs a
+// live types.Object the skipped load never produced.
+func (s *FactStore) InjectObjectFact(key string, fact Fact) {
+	s.objects[objectFactKey{key, factType(fact)}] = fact
+}
+
+// InjectPackageFact stores a whole-package fact for the package at path.
+func (s *FactStore) InjectPackageFact(path string, fact Fact) {
+	s.packages[packageFactKey{path, factType(fact)}] = fact
 }
 
 // AllObjectKeys returns the sorted object keys holding a fact of the same

@@ -35,6 +35,7 @@ type Loader struct {
 	modPath string
 	fset    *token.FileSet
 	exports map[string]string // import path → export data file
+	warmed  bool              // bulk export warmup has run
 	gc      types.Importer
 	cache   map[string]*Package // by absolute dir
 }
@@ -58,9 +59,19 @@ func NewLoader(dir string) (*Loader, error) {
 		cache:   make(map[string]*Package),
 	}
 	l.gc = importer.ForCompiler(l.fset, "gc", l.lookup)
-	// Warm the export map with every dependency of the module in one go
-	// list run; stragglers (imports that only testdata packages use) are
-	// resolved lazily by exportFile.
+	return l, nil
+}
+
+// warmExports fills the export map with every dependency of the module in
+// one go list run. It runs lazily, on the first export-data miss, so a
+// driver whose packages all come out of the incremental cache never pays
+// for building export data at all; stragglers (imports that only testdata
+// packages use) are still resolved per-path by exportFile.
+func (l *Loader) warmExports() {
+	if l.warmed {
+		return
+	}
+	l.warmed = true
 	out, err := l.golist("list", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}", "./...")
 	if err == nil {
 		for _, line := range strings.Split(out, "\n") {
@@ -69,7 +80,6 @@ func NewLoader(dir string) (*Loader, error) {
 			}
 		}
 	}
-	return l, nil
 }
 
 // Fset returns the loader's shared file set.
@@ -122,6 +132,9 @@ func (l *Loader) exportFile(path string) (string, error) {
 	if f, ok := l.exports[path]; ok {
 		return f, nil
 	}
+	if l.warmExports(); l.exports[path] != "" {
+		return l.exports[path], nil
+	}
 	out, err := l.golist("list", "-export", "-f", "{{.Export}}", "--", path)
 	if err != nil {
 		return "", err
@@ -164,60 +177,115 @@ func (l *Loader) Dirs(patterns ...string) ([]string, error) {
 	return strings.Split(out, "\n"), nil
 }
 
-// DirsInDependencyOrder expands patterns like Dirs but orders the result
-// so every package appears after the packages it imports (restricted to
-// the matched set). Drivers that propagate Facts across packages analyze
-// in this order, so a pass importing a fact about an upstream package
-// finds what the upstream pass exported. Ties keep go list order, making
-// the output deterministic.
-func (l *Loader) DirsInDependencyOrder(patterns ...string) ([]string, error) {
-	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}\t{{range .Imports}}{{.}} {{end}}", "--"}, patterns...)
-	out, err := l.golist(args...)
+// PkgMeta is the go list metadata of one package, gathered without parsing
+// or type-checking it — the inputs the incremental cache keys on.
+type PkgMeta struct {
+	Path    string
+	Dir     string
+	GoFiles []string // build-included non-test sources, base names
+	Imports []string
+	// Internal marks packages of the enclosing module; only those
+	// participate in dependency ordering and cache keys (the standard
+	// library changes only with the toolchain, which salts the key).
+	Internal bool
+}
+
+// PackagesInDependencyOrder expands patterns into package metadata, ordered
+// so every matched package appears after the matched packages it imports.
+// Drivers that propagate Facts across packages analyze in this order, so a
+// pass importing a fact about an upstream package finds what the upstream
+// pass exported. Ties keep go list order, making the output deterministic.
+// The second result maps every module-internal package in the matched
+// set's import closure (matched or not) to its metadata, so cache keys can
+// include the content of upstream packages outside the matched set.
+func (l *Loader) PackagesInDependencyOrder(patterns ...string) ([]*PkgMeta, map[string]*PkgMeta, error) {
+	const format = "{{.ImportPath}}\t{{.Dir}}\t{{range .GoFiles}}{{.}} {{end}}\t{{range .Imports}}{{.}} {{end}}"
+	parse := func(out string) ([]*PkgMeta, error) {
+		var metas []*PkgMeta
+		if out == "" {
+			return nil, nil
+		}
+		for _, line := range strings.Split(out, "\n") {
+			parts := strings.SplitN(line, "\t", 4)
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("analysis: malformed go list line %q", line)
+			}
+			m := &PkgMeta{Path: parts[0], Dir: parts[1]}
+			// Trailing fields vanish entirely for an import-free package at
+			// the end of the output (TrimSpace eats trailing tabs).
+			if len(parts) > 2 {
+				m.GoFiles = strings.Fields(parts[2])
+			}
+			if len(parts) > 3 {
+				m.Imports = strings.Fields(parts[3])
+			}
+			m.Internal = m.Path == l.modPath || strings.HasPrefix(m.Path, l.modPath+"/")
+			metas = append(metas, m)
+		}
+		return metas, nil
+	}
+
+	out, err := l.golist(append([]string{"list", "-f", format, "--"}, patterns...)...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if out == "" {
-		return nil, nil
+	matched, err := parse(out)
+	if err != nil {
+		return nil, nil, err
 	}
-	type pkg struct {
-		dir     string
-		imports []string
+	out, err = l.golist(append([]string{"list", "-deps", "-f", format, "--"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
 	}
-	pkgs := make(map[string]pkg)
-	var order []string // go list order, for determinism
-	for _, line := range strings.Split(out, "\n") {
-		parts := strings.SplitN(line, "\t", 3)
-		if len(parts) < 2 {
-			return nil, fmt.Errorf("analysis: malformed go list line %q", line)
+	closureList, err := parse(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	closure := make(map[string]*PkgMeta, len(closureList))
+	for _, m := range closureList {
+		if m.Internal {
+			closure[m.Path] = m
 		}
-		var imports []string
-		if len(parts) == 3 {
-			// The field is absent entirely for an import-free package at
-			// the end of the output (TrimSpace eats its trailing tab).
-			imports = strings.Fields(parts[2])
-		}
-		pkgs[parts[0]] = pkg{dir: parts[1], imports: imports}
-		order = append(order, parts[0])
 	}
-	var dirs []string
-	visited := make(map[string]bool, len(pkgs))
+
+	inMatch := make(map[string]*PkgMeta, len(matched))
+	for _, m := range matched {
+		inMatch[m.Path] = m
+	}
+	var ordered []*PkgMeta
+	visited := make(map[string]bool, len(matched))
 	var visit func(path string)
 	visit = func(path string) {
 		if visited[path] {
 			return
 		}
 		visited[path] = true
-		p, ok := pkgs[path]
+		m, ok := inMatch[path]
 		if !ok {
 			return // import outside the matched set
 		}
-		for _, imp := range p.imports {
+		for _, imp := range m.Imports {
 			visit(imp)
 		}
-		dirs = append(dirs, p.dir)
+		ordered = append(ordered, m)
 	}
-	for _, path := range order {
-		visit(path)
+	for _, m := range matched {
+		visit(m.Path)
+	}
+	return ordered, closure, nil
+}
+
+// DirsInDependencyOrder expands patterns like Dirs but orders the result
+// so every package appears after the packages it imports (restricted to
+// the matched set).
+func (l *Loader) DirsInDependencyOrder(patterns ...string) ([]string, error) {
+	metas, _, err := l.PackagesInDependencyOrder(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, len(metas))
+	for i, m := range metas {
+		dirs[i] = m.Dir
 	}
 	return dirs, nil
 }

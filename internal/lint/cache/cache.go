@@ -1,0 +1,225 @@
+// Package cache is medalint's incremental analysis cache. The driver keys
+// each package by a content hash — its own sources, the keys of its
+// module-internal dependencies (so a change deep in the import graph
+// invalidates everything downstream), and a salt covering the toolchain
+// version plus the analyzer roster — and stores the package's
+// post-suppression findings together with the analysis facts its passes
+// exported. On a warm run, a hit replays the findings and injects the
+// facts into the run's FactStore without parsing or type-checking the
+// package at all, so `medalint ./...` after an edit re-analyzes only the
+// changed packages and their dependents.
+//
+// Entries are gob-encoded files named by their key under a two-level
+// directory, written atomically (temp file + rename) so concurrent or
+// interrupted runs never observe a torn entry. Any read error or decoding
+// mismatch is a miss, never a failure: the cache is an accelerator, and
+// the driver must behave identically with it, without it, or with a
+// corrupted copy of it. Fact values round-trip through gob, which demands
+// two disciplines of fact types: they register with RegisterFact at init,
+// and their token.Pos fields are scrubbed to zero on store — positions are
+// offsets into the producing run's FileSet, meaningless in any other run,
+// and keeping them would make entries nondeterministic.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+
+	"meda/internal/lint/analysis"
+)
+
+// Finding is one diagnostic in serializable form (token.Position flattened
+// to its fields).
+type Finding struct {
+	Analyzer string
+	File     string
+	Offset   int
+	Line     int
+	Column   int
+	Message  string
+}
+
+// Entry is everything one package contributes to a run: its findings
+// (after suppression directives were applied) and the facts its passes
+// exported for downstream packages.
+type Entry struct {
+	Findings     []Finding
+	ObjectFacts  []analysis.ObjectFactRecord
+	PackageFacts []analysis.Fact
+}
+
+// Cache is one on-disk cache directory.
+type Cache struct {
+	dir string
+}
+
+// Open returns a cache rooted at dir, creating it if needed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// RegisterFact registers a fact's concrete type for gob round-tripping.
+// Every fact type an analyzer exports must be registered before entries
+// holding it can be stored or loaded; call it from the analyzer package's
+// init.
+func RegisterFact(f analysis.Fact) { gob.Register(f) }
+
+// path places a key in a two-level layout so no single directory grows
+// unboundedly.
+func (c *Cache) path(key string) string {
+	if len(key) < 3 {
+		return filepath.Join(c.dir, "short", key)
+	}
+	return filepath.Join(c.dir, key[:2], key[2:])
+}
+
+// Load returns the entry stored under key, or ok=false on any miss —
+// absence, unreadability, or a decoding mismatch (e.g. an entry written by
+// a build with different fact types). A corrupt entry is removed so it
+// cannot keep costing a read.
+func (c *Cache) Load(key string) (*Entry, bool) {
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var e Entry
+	if err := gob.NewDecoder(f).Decode(&e); err != nil {
+		os.Remove(c.path(key))
+		return nil, false
+	}
+	return &e, true
+}
+
+// Store writes the entry under key, scrubbing positions from facts and
+// replacing any existing entry atomically.
+func (c *Cache) Store(key string, e *Entry) error {
+	for _, r := range e.ObjectFacts {
+		scrubPos(reflect.ValueOf(r.Fact))
+	}
+	for _, f := range e.PackageFacts {
+		scrubPos(reflect.ValueOf(f))
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	enc := gob.NewEncoder(tmp)
+	if err := enc.Encode(e); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: encoding %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// posType is the one field type scrubbed from stored facts.
+var posType = reflect.TypeOf(token.Pos(0))
+
+// scrubPos zeroes every token.Pos reachable from v through pointers,
+// structs, slices, arrays, and maps with addressable values. Positions are
+// FileSet offsets of the producing run; a consumer resolving them against
+// its own FileSet would point anywhere, so the cache stores them as NoPos.
+func scrubPos(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		if !v.IsNil() {
+			scrubPos(v.Elem())
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if f.Type() == posType && f.CanSet() {
+				f.SetInt(int64(token.NoPos))
+				continue
+			}
+			scrubPos(f)
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			scrubPos(v.Index(i))
+		}
+	}
+}
+
+// Salt folds the run configuration that invalidates every entry at once —
+// toolchain version, cache schema, analyzer roster — into one hash input.
+func Salt(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HashFiles hashes the named files (base names resolved under dir, hashed
+// in sorted order, names included) — a package's source identity.
+func HashFiles(dir string, names []string) (string, error) {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	for _, name := range sorted {
+		io.WriteString(h, name)
+		h.Write([]byte{0})
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		_, err = io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Key combines the salt, a package's identity, its source hash, and its
+// dependencies' keys (sorted, with their import paths) into the package's
+// cache key.
+func Key(salt, pkgPath, srcHash string, depKeys map[string]string) string {
+	deps := make([]string, 0, len(depKeys))
+	for path, key := range depKeys {
+		deps = append(deps, path+"="+key)
+	}
+	sort.Strings(deps)
+	h := sha256.New()
+	io.WriteString(h, salt)
+	h.Write([]byte{0})
+	io.WriteString(h, pkgPath)
+	h.Write([]byte{0})
+	io.WriteString(h, srcHash)
+	h.Write([]byte{0})
+	for _, d := range deps {
+		io.WriteString(h, d)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -180,6 +180,29 @@ func resolveCall(info *types.Info, cha *chaIndex, call *ast.CallExpr, async, def
 	return c
 }
 
+// StaticCallee resolves a call's static callee function — a plain or
+// package-qualified function, or a method on a concrete receiver — or nil
+// for builtins, conversions, interface dispatch, and function values. The
+// summary and probflow layers share it to key seeded knowledge and facts.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if s := info.Selections[fun]; s != nil {
+			if types.IsInterface(s.Recv()) {
+				return nil
+			}
+			fn, _ := s.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
 // chaIndex is the type universe for interface resolution: every named type
 // visible from the analyzed package.
 type chaIndex struct {

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"meda/internal/lint/absint"
+	"meda/internal/lint/analysis"
+	"meda/internal/lint/cfg"
+)
+
+// GridBounds proves coordinate-derived slice indexing in bounds, or flags
+// it. The MEDA grid layers (cell health, force field, CSR transition slabs)
+// are flat slices indexed by linearized 2D coordinates — `health[y*w+x]`,
+// `probs[rowStart+k]` — and the paper's hazard-free routing argument
+// assumes every such access lands inside the chip. The analyzer runs the
+// interval interpreter (internal/lint/absint) over each function and checks
+// every index expression whose index is coordinate-derived (contains a
+// product of two non-constant integer operands, or a variable tainted by
+// one): the access is silent when the environment proves 0 ≤ index and
+// index < len(slice) — numerically, or relationally via a dominating
+// `if i >= len(s)` guard, a `for i := 0; i < n; i++` bound with
+// n := len(s), or a range loop — and a finding otherwise. Plain
+// non-coordinate indexing (s[i] over a range, s[0]) is out of scope: the
+// runtime bounds check covers it without the noise, but a computed
+// linearization that panics mid-route is exactly the crash the formal
+// model says cannot happen, so it must be proven or visibly waived.
+var GridBounds = &analysis.Analyzer{
+	Name: "gridbounds",
+	Doc:  "proves coordinate-derived slice indexing in bounds, or flags it",
+	Run:  runGridBounds,
+}
+
+func runGridBounds(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			f := absint.Analyze(info, fd.Body, declParams(info, fd), absint.Options{})
+			f.Walk(func(n ast.Node, env absint.Env) {
+				if !env.Reached() {
+					return
+				}
+				cfg.Visit(n, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.FuncLit:
+						return false // its body runs under a different env
+					case *ast.IndexExpr:
+						checkGridIndex(pass, f, env, m)
+					}
+					return true
+				})
+			})
+		}
+	}
+	return nil
+}
+
+// checkGridIndex checks one index expression: slices and arrays with an
+// integer, coordinate-derived index must be proven in bounds.
+func checkGridIndex(pass *analysis.Pass, f *absint.Func, env absint.Env, ix *ast.IndexExpr) {
+	base := pass.TypesInfo.Types[ix.X].Type
+	if base == nil || !isIndexable(base) {
+		return
+	}
+	it := pass.TypesInfo.Types[ix.Index].Type
+	if it == nil {
+		return
+	}
+	if b, ok := it.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return
+	}
+	if !f.CoordDerived(env, ix.Index) {
+		return
+	}
+	if proven, why := f.IndexProven(env, ix.X, ix.Index); !proven {
+		pass.Reportf(ix.Index.Pos(),
+			"coordinate-derived index %s into %s is unproven: %s; add a bounds guard or //lint:ignore gridbounds with the invariant",
+			types.ExprString(ix.Index), types.ExprString(ix.X), why)
+	}
+}
+
+// isIndexable reports whether indexing t is the slice/array shape the
+// analyzer guards (maps and strings are out of scope).
+func isIndexable(t types.Type) bool {
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	switch u.(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}

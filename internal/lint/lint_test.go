@@ -15,7 +15,6 @@ func testdata(name string) string { return filepath.Join("testdata", name) }
 func TestFloatCmp(t *testing.T)     { analysistest.Run(t, testdata("floatcmp"), lint.FloatCmp) }
 func TestChipAccess(t *testing.T)   { analysistest.Run(t, testdata("chipaccess"), lint.ChipAccess) }
 func TestCtxCancel(t *testing.T)    { analysistest.Run(t, testdata("ctxcancel"), lint.CtxCancel) }
-func TestProbLiteral(t *testing.T)  { analysistest.Run(t, testdata("probliteral"), lint.ProbLiteral) }
 func TestLockOrder(t *testing.T)    { analysistest.Run(t, testdata("lockorder"), lint.LockOrder) }
 func TestNilStrategy(t *testing.T)  { analysistest.Run(t, testdata("nilstrategy"), lint.NilStrategy) }
 func TestErrFlow(t *testing.T)      { analysistest.Run(t, testdata("errflow"), lint.ErrFlow) }
@@ -27,6 +26,10 @@ func TestGoroutineLeak(t *testing.T) {
 	analysistest.Run(t, testdata("goroutineleak"), lint.GoroutineLeak)
 }
 func TestChanProtocol(t *testing.T) { analysistest.Run(t, testdata("chanprotocol"), lint.ChanProtocol) }
+
+func TestGridBounds(t *testing.T) { analysistest.Run(t, testdata("gridbounds"), lint.GridBounds) }
+func TestProbFlow(t *testing.T)   { analysistest.Run(t, testdata("probflow"), lint.ProbFlow) }
+func TestHotAlloc(t *testing.T)   { analysistest.Run(t, testdata("hotalloc"), lint.HotAlloc) }
 
 func TestErrFlowStrict(t *testing.T) {
 	analysistest.Run(t, testdata("errflowstrict"), lint.ErrFlowStrict)
@@ -110,6 +113,121 @@ func TestSummaryCrossPackageFacts(t *testing.T) {
 	}
 }
 
+// TestProbFlowCrossPackageFacts drives the full Run pipeline over the
+// probflow provider/consumer golden pair: the finding in consumer exists
+// only because provider's ProbRangeFact return ranges crossed the package
+// boundary through the shared store.
+func TestProbFlowCrossPackageFacts(t *testing.T) {
+	findings, err := lint.Run(".", []string{
+		// Consumer-first on purpose: the driver must reorder on its own.
+		"./internal/lint/testdata/probflowfacts/consumer",
+		"./internal/lint/testdata/probflowfacts/provider",
+	}, []*analysis.Analyzer{lint.ProbFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "probflow" {
+		t.Errorf("finding analyzer = %q, want probflow", f.Analyzer)
+	}
+	if !strings.Contains(f.Message, "[0, 1.5]") {
+		t.Errorf("finding message %q does not carry the imported return range", f.Message)
+	}
+	if !strings.HasSuffix(f.Pos.Filename, "consumer.go") {
+		t.Errorf("finding at %s, want it inside consumer.go", f.Pos)
+	}
+}
+
+// TestHotAllocCrossPackageFacts drives the full Run pipeline over the
+// hotalloc provider/consumer golden pair: the //meda:hotpath violation is
+// two call frames away in another package and reaches the contract site
+// only through provider's exported AllocFacts.
+func TestHotAllocCrossPackageFacts(t *testing.T) {
+	findings, err := lint.Run(".", []string{
+		// Consumer-first on purpose: the driver must reorder on its own.
+		"./internal/lint/testdata/hotallocfacts/consumer",
+		"./internal/lint/testdata/hotallocfacts/provider",
+	}, []*analysis.Analyzer{lint.HotAlloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "hotalloc" {
+		t.Errorf("finding analyzer = %q, want hotalloc", f.Analyzer)
+	}
+	if !strings.Contains(f.Message, "make via provider.Outer → Grow") {
+		t.Errorf("finding message %q does not carry the cross-package witness chain", f.Message)
+	}
+	if !strings.HasSuffix(f.Pos.Filename, "consumer.go") {
+		t.Errorf("finding at %s, want it inside consumer.go", f.Pos)
+	}
+}
+
+// TestIncrementalCacheWarmRun: the second run over the same tree must
+// replay every package from the cache and produce byte-identical findings
+// — including the cross-package fact-dependent ones, which exist on the
+// warm run only because the cache re-injected the provider's facts.
+func TestIncrementalCacheWarmRun(t *testing.T) {
+	patterns := []string{
+		"./internal/lint/testdata/probflowfacts/...",
+		"./internal/lint/testdata/hotallocfacts/...",
+		"./internal/lint/testdata/suppress",
+	}
+	analyzers := lint.Analyzers()
+	opts := lint.Options{CacheDir: t.TempDir()}
+
+	cold, _, coldStats, err := lint.RunOpts(".", patterns, analyzers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.Hits != 0 {
+		t.Errorf("cold run hit the cache %d times, want 0", coldStats.Hits)
+	}
+	warm, _, warmStats, err := lint.RunOpts(".", patterns, analyzers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.Packages == 0 || warmStats.Hits != warmStats.Packages {
+		t.Errorf("warm run reused %d/%d packages, want all", warmStats.Hits, warmStats.Packages)
+	}
+	uncached, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(fs []lint.Finding) string {
+		var sb strings.Builder
+		for _, f := range fs {
+			sb.WriteString(f.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	if render(warm) != render(cold) {
+		t.Errorf("warm findings differ from cold:\ncold:\n%swarm:\n%s", render(cold), render(warm))
+	}
+	if render(cold) != render(uncached) {
+		t.Errorf("cached findings differ from uncached:\nuncached:\n%scached:\n%s", render(uncached), render(cold))
+	}
+	// The fact-dependent findings must be present on the warm run.
+	for _, want := range []string{"[0, 1.5]", "make via provider.Outer → Grow"} {
+		found := false
+		for _, f := range warm {
+			if strings.Contains(f.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("warm run lost the fact-dependent finding %q", want)
+		}
+	}
+}
+
 // TestSuppressionDirectives: a reasoned //lint:ignore removes its finding;
 // a reasonless, unknown-analyzer, or dead directive is itself a finding.
 func TestSuppressionDirectives(t *testing.T) {
@@ -151,18 +269,19 @@ func TestSuppressionDirectives(t *testing.T) {
 	}
 }
 
-// TestSuiteRegistry: the multichecker exposes exactly the twelve analyzers,
-// each named and documented.
+// TestSuiteRegistry: the multichecker exposes exactly the fourteen
+// analyzers, each named and documented.
 func TestSuiteRegistry(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) != 12 {
-		t.Fatalf("Analyzers() returned %d analyzers, want 12", len(as))
+	if len(as) != 14 {
+		t.Fatalf("Analyzers() returned %d analyzers, want 14", len(as))
 	}
 	want := map[string]bool{
 		"floatcmp": true, "chipaccess": true, "ctxcancel": true,
-		"probliteral": true, "lockorder": true, "nilstrategy": true,
+		"lockorder": true, "nilstrategy": true,
 		"errflow": true, "snapshotflow": true, "lockheld": true,
 		"detpure": true, "goroutineleak": true, "chanprotocol": true,
+		"gridbounds": true, "probflow": true, "hotalloc": true,
 	}
 	for _, a := range as {
 		if !want[a.Name] {

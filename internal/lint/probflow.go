@@ -1,0 +1,364 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"regexp"
+
+	"meda/internal/lint/absint"
+	"meda/internal/lint/analysis"
+	"meda/internal/lint/callgraph"
+	"meda/internal/lint/cfg"
+)
+
+// ProbFlow confines probabilities to [0,1] by value-range abstract
+// interpretation (internal/lint/absint), superseding the retired
+// probliteral analyzer (whose name survives as a //lint:ignore alias). At
+// every probability consumption site — a value written into a
+// probability-named struct field (P, Prob, Probability) or passed for a
+// probability-named float parameter — the analyzer evaluates the
+// expression's interval under the assume-guarantee discipline that
+// probability-named parameters and field reads are themselves in [0,1]
+// (their write sites are checked the same way), so products, complements
+// (1-p), and normalizations flow through exactly; a finite bound escaping
+// [0,1] (`p+q`, `p*3`, a literal 1.5) is a finding, while an unknown ⊤
+// never flags. The analysis is interprocedural two ways: return-range
+// facts (ProbRangeFact) are computed bottom-up over the package call graph
+// and cross package boundaries through the shared fact store, so
+// `SetP(scale(x))` sees scale's actual range however many frames down, and
+// seeded stdlib knowledge (rand.Float64 ∈ [0,1)) enters the same hook.
+var ProbFlow = &analysis.Analyzer{
+	Name: "probflow",
+	Doc:  "confines computed probabilities to [0,1] by interval analysis",
+	Run:  runProbFlow,
+}
+
+var probFieldRE = regexp.MustCompile(`^(P|Prob|Probability)$`)
+var probParamRE = regexp.MustCompile(`(?i)^(p|prob|probability)$`)
+
+// ProbRangeFact is the exported return-range of a float-valued function:
+// callers evaluate calls into it as the interval [Lo, Hi]. Only ranges the
+// analysis actually bounded are exported (⊤ stays implicit).
+type ProbRangeFact struct {
+	Lo, Hi float64
+}
+
+// AFact marks ProbRangeFact as an analysis fact.
+func (*ProbRangeFact) AFact() {}
+
+// probRangeRounds bounds the SCC fixpoint for return ranges: recursive
+// float functions that have not stabilized by then are published as ⊤
+// (i.e. not at all) rather than iterated forever.
+const probRangeRounds = 4
+
+// seededProbRanges maps known stdlib entry points (by analysis.ObjectKey)
+// to their return ranges.
+var seededProbRanges = map[string]absint.Interval{
+	"math/rand.Float64":      absint.Range(0, 1),
+	"math/rand.Rand.Float64": absint.Range(0, 1),
+	"math.Abs":               absint.AtLeast(0),
+	"math.Exp":               absint.AtLeast(0),
+	"math.Sqrt":              absint.AtLeast(0),
+}
+
+func runProbFlow(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	ranges := make(map[*types.Func]absint.Interval)
+
+	opts := absint.Options{
+		ParamSeed: func(v *types.Var) (absint.Interval, bool) {
+			if probParamRE.MatchString(v.Name()) && isFloat(v.Type()) {
+				return absint.Unit, true
+			}
+			return absint.Top, false
+		},
+		ReadSeed: func(e ast.Expr) (absint.Interval, bool) {
+			if sel, ok := e.(*ast.SelectorExpr); ok {
+				if probFieldRE.MatchString(sel.Sel.Name) && isFloat(info.Types[e].Type) {
+					return absint.Unit, true
+				}
+			}
+			return absint.Top, false
+		},
+		CallResult: func(call *ast.CallExpr) (absint.Interval, bool) {
+			fn := callgraph.StaticCallee(info, call)
+			if fn == nil {
+				return absint.Top, false
+			}
+			if iv, ok := ranges[fn]; ok {
+				return iv, true
+			}
+			var fact ProbRangeFact
+			if pass.ImportObjectFact(fn, &fact) {
+				return absint.Range(fact.Lo, fact.Hi), true
+			}
+			if key, ok := analysis.ObjectKey(fn); ok {
+				if iv, ok := seededProbRanges[key]; ok {
+					return iv, true
+				}
+			}
+			return absint.Top, false
+		},
+	}
+
+	// Phase 1: bottom-up return ranges over the package call graph, so a
+	// consumption site in this package (or downstream, through the exported
+	// facts) evaluates calls by their actual range.
+	g := callgraph.Build(pass.Pkg, info, pass.Files)
+	for _, scc := range g.SCCs() {
+		for round := 0; ; round++ {
+			changed := false
+			for _, n := range scc {
+				if !hasSingleFloatResult(n.Fn) {
+					continue
+				}
+				next := returnRange(info, n.Decl, opts)
+				if prev, ok := ranges[n.Fn]; !ok || !prev.Eq(next) {
+					changed = true
+				}
+				ranges[n.Fn] = next
+			}
+			if !changed {
+				break
+			}
+			if round >= probRangeRounds {
+				// Unstable recursion: publish nothing rather than iterate on.
+				for _, n := range scc {
+					delete(ranges, n.Fn)
+				}
+				break
+			}
+		}
+	}
+	for fn, iv := range ranges {
+		if !iv.IsTop() && !iv.IsEmpty() {
+			pass.ExportObjectFact(fn, &ProbRangeFact{Lo: iv.Lo, Hi: iv.Hi})
+		}
+	}
+
+	// Phase 2: check every consumption site, function by function, with the
+	// solved per-point environments.
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			f := absint.Analyze(info, fd.Body, declParams(info, fd), opts)
+			f.Walk(func(n ast.Node, env absint.Env) {
+				if !env.Reached() {
+					return
+				}
+				checkProbSites(pass, n, func(e ast.Expr) absint.Interval {
+					return f.EvalIn(env, e)
+				})
+			})
+		}
+	}
+
+	// Package-level declarations sit outside any CFG, and function literal
+	// bodies run under environments their enclosing CFG does not model;
+	// both still get the exact constant check (the probliteral heritage: a
+	// 1.5 literal in a table of transition records).
+	constEval := func(e ast.Expr) absint.Interval { return constProbInterval(info, e) }
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if gd, ok := d.(*ast.GenDecl); ok {
+				checkProbSites(pass, gd, constEval)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkProbSites(pass, lit.Body, constEval)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declParams returns the declared parameters of a function, receiver
+// excluded (the receiver is never probability-named in this codebase).
+func declParams(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// hasSingleFloatResult reports whether fn returns exactly one float value —
+// the shape return-range facts attach to.
+func hasSingleFloatResult(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return isFloat(sig.Results().At(0).Type())
+}
+
+// returnRange joins the intervals of every reachable return value of one
+// function body under the given interpreter options.
+func returnRange(info *types.Info, fd *ast.FuncDecl, opts absint.Options) absint.Interval {
+	f := absint.Analyze(info, fd.Body, declParams(info, fd), opts)
+	out := absint.Empty
+	sawReturn, sawNaked := false, false
+	f.Walk(func(n ast.Node, env absint.Env) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		if len(ret.Results) != 1 {
+			sawNaked = true // named-result return: the value is untracked
+			return
+		}
+		sawReturn = true
+		if !env.Reached() {
+			return
+		}
+		out = out.Join(f.EvalIn(env, ret.Results[0]))
+	})
+	if !sawReturn || sawNaked {
+		return absint.Top
+	}
+	return out
+}
+
+// checkProbSites inspects one node for probability consumption sites and
+// flags intervals whose finite bounds escape [0,1]. Function literals are
+// skipped: their bodies run under a different environment and are visited
+// by their own CFG nodes.
+func checkProbSites(pass *analysis.Pass, node ast.Node, eval func(ast.Expr) absint.Interval) {
+	info := pass.TypesInfo
+	check := func(expr ast.Expr, what string) {
+		if tv := info.Types[expr]; tv.Value != nil {
+			// Constant: exact check, exact message (the probliteral
+			// heritage golden suites rely on).
+			if k := tv.Value.Kind(); k != constant.Int && k != constant.Float {
+				return
+			}
+			if constant.Sign(tv.Value) >= 0 && !exceedsOne(tv.Value) {
+				return
+			}
+			pass.Reportf(expr.Pos(), "probability literal %s for %s is outside [0,1]", tv.Value.String(), what)
+			return
+		}
+		iv := eval(expr)
+		if iv.IsEmpty() || iv.In(absint.Unit) {
+			return
+		}
+		loBad := iv.Lo < 0 && !math.IsInf(iv.Lo, -1) // finite negative lower bound
+		hiBad := iv.Hi > 1 && !math.IsInf(iv.Hi, 1)  // finite upper bound above 1
+		if loBad || hiBad {
+			pass.Reportf(expr.Pos(), "computed probability for %s is in %s, which can leave [0,1]", what, iv)
+		}
+	}
+	cfg.Visit(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CompositeLit:
+			st, ok := structOf(info.Types[n].Type)
+			if !ok {
+				return true
+			}
+			for i, elt := range n.Elts {
+				name, value := "", ast.Expr(nil)
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						name, value = id.Name, kv.Value
+					}
+				} else if i < st.NumFields() {
+					name, value = st.Field(i).Name(), elt
+				}
+				if value != nil && probFieldRE.MatchString(name) && isFloat(info.Types[value].Type) {
+					check(value, "field "+name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || i >= len(n.Rhs) || len(n.Lhs) != len(n.Rhs) {
+					continue
+				}
+				if probFieldRE.MatchString(sel.Sel.Name) && isFloat(info.Types[lhs].Type) {
+					check(n.Rhs[i], "field "+sel.Sel.Name)
+				}
+			}
+		case *ast.CallExpr:
+			sig, ok := signatureOf(info, n.Fun)
+			if !ok {
+				return true
+			}
+			for i, arg := range n.Args {
+				pi := i
+				if sig.Variadic() && pi >= sig.Params().Len() {
+					pi = sig.Params().Len() - 1
+				}
+				if pi < 0 || pi >= sig.Params().Len() {
+					continue
+				}
+				param := sig.Params().At(pi)
+				if probParamRE.MatchString(param.Name()) && isFloat(param.Type()) {
+					check(arg, "parameter "+param.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// constProbInterval evaluates constant expressions only — the evaluator for
+// package-level declarations, where no CFG exists.
+func constProbInterval(info *types.Info, e ast.Expr) absint.Interval {
+	tv := info.Types[e]
+	if tv.Value == nil {
+		return absint.Top
+	}
+	if v, ok := constant.Float64Val(constant.ToFloat(tv.Value)); ok {
+		return absint.Const(v)
+	}
+	return absint.Top
+}
+
+// exceedsOne reports v > 1 for a numeric constant.
+func exceedsOne(v constant.Value) bool {
+	if v.Kind() != constant.Int && v.Kind() != constant.Float {
+		return false
+	}
+	return constant.Compare(v, token.GTR, constant.MakeInt64(1))
+}
+
+// structOf unwraps t (possibly behind a pointer or a named type) to a
+// struct.
+func structOf(t types.Type) (*types.Struct, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// signatureOf resolves the signature of a call target, rejecting
+// conversions and builtins.
+func signatureOf(info *types.Info, fun ast.Expr) (*types.Signature, bool) {
+	tv := info.Types[fun]
+	if tv.Type == nil || tv.IsType() {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}

@@ -70,6 +70,18 @@ func TestWriteSARIF(t *testing.T) {
 	if want := len(lint.Analyzers()) + 1; len(run.Tool.Driver.Rules) != want {
 		t.Errorf("got %d rules, want %d (suite + directive)", len(run.Tool.Driver.Rules), want)
 	}
+	rules := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, id := range []string{"gridbounds", "probflow", "hotalloc"} {
+		if !rules[id] {
+			t.Errorf("value-range tier rule %q missing from SARIF rules", id)
+		}
+	}
+	if rules["probliteral"] {
+		t.Error("retired probliteral still appears as a SARIF rule; it lives on only as a //lint:ignore alias")
+	}
 	if len(run.Results) != 2 {
 		t.Fatalf("got %d results, want 2", len(run.Results))
 	}

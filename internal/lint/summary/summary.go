@@ -567,19 +567,7 @@ func scanCall(pass *analysis.Pass, call *ast.CallExpr, paramOf func(ast.Expr) (i
 
 // staticCallee resolves a call's static callee function, or nil.
 func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		fn, _ := info.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		if s := info.Selections[fun]; s != nil {
-			fn, _ := s.Obj().(*types.Func)
-			return fn
-		}
-		fn, _ := info.Uses[fun.Sel].(*types.Func)
-		return fn
-	}
-	return nil
+	return callgraph.StaticCallee(info, call)
 }
 
 // seededNondet maps known nondeterministic stdlib entry points (by

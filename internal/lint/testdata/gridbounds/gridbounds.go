@@ -1,0 +1,80 @@
+// Package gridbounds is the golden input for the gridbounds analyzer:
+// coordinate-derived slice indexing must be proven in bounds by the
+// interval interpreter, or flagged.
+package gridbounds
+
+type chip struct {
+	w, h int
+}
+
+// An unguarded linearized index is the finding the analyzer exists for.
+func get(health []float64, c chip, x, y int) float64 {
+	return health[y*c.w+x] // want `coordinate-derived index .* into health is unproven`
+}
+
+// The taint survives assignment: idx is coordinate-derived even though the
+// index expression itself is a plain identifier.
+func tainted(health []float64, x, y, w int) float64 {
+	idx := y*w + x
+	return health[idx] // want `coordinate-derived index idx into health is unproven`
+}
+
+// A dominating two-sided guard proves the access.
+func guarded(health []float64, c chip, x, y int) float64 {
+	idx := y*c.w + x
+	if idx < 0 || idx >= len(health) {
+		return 0
+	}
+	return health[idx]
+}
+
+// A one-sided guard is not enough: the lower bound is still unproven.
+func halfGuarded(health []float64, c chip, x, y int) float64 {
+	idx := y*c.w + x
+	if idx >= len(health) {
+		return 0
+	}
+	return health[idx] // want `coordinate-derived index idx into health is unproven: cannot prove index ≥ 0`
+}
+
+// Loop bounds plus an in-loop guard prove the row-major sweep.
+func rowMajor(field []float64, w, h int) float64 {
+	s := 0.0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if i < 0 || i >= len(field) {
+				continue
+			}
+			s += field[i]
+		}
+	}
+	return s
+}
+
+// A guard spelled against a saved length alias (n := len(s)) still proves
+// the access: the interpreter tracks that n equals len(s).
+func lenAlias(vals []float64, w, k int) float64 {
+	n := len(vals)
+	i := w * k
+	if i < 0 || i >= n {
+		return 0
+	}
+	return vals[i]
+}
+
+// A numeric proof needs no relational fact: the refined coordinate ranges
+// multiply out strictly below the make length.
+func constProof(x, y, w int) float64 {
+	buf := make([]float64, 256)
+	if w != 16 || x < 0 || x > 15 || y < 0 || y > 15 {
+		return 0
+	}
+	return buf[y*w+x]
+}
+
+// Plain non-coordinate indexing is out of scope — the runtime bounds check
+// covers it without analyzer noise.
+func plain(s []float64, i int) float64 {
+	return s[i]
+}

@@ -1,0 +1,97 @@
+// Package hotalloc is the golden input for the hotalloc analyzer: functions
+// annotated //meda:hotpath must not reach heap allocations, however many
+// call frames down.
+package hotalloc
+
+type builder struct {
+	tos []int
+}
+
+// Self-append assigning back to the appended slice (including field slabs)
+// is the approved amortized-growth pattern.
+//
+//meda:hotpath
+func (b *builder) push(v int) {
+	b.tos = append(b.tos, v)
+}
+
+// Truncate-and-reuse is self-append too: the base is a reslice of the
+// assignment target, so the append fills the existing backing array.
+//
+//meda:hotpath
+func (b *builder) reset() {
+	b.tos = append(b.tos[:0], 0)
+}
+
+//meda:hotpath
+func leaky(n int) []int {
+	s := make([]int, n) // want `leaky is marked //meda:hotpath but reaches make`
+	return s
+}
+
+//meda:hotpath
+func boxed(v int) {
+	sink(v) // want `boxed is marked //meda:hotpath but reaches interface boxing`
+}
+
+func sink(x interface{}) { _ = x }
+
+// Constant operands materialize statically — panic("message") stays free.
+//
+//meda:hotpath
+func constPanic(ok bool) {
+	if !ok {
+		panic("invariant violated")
+	}
+}
+
+//meda:hotpath
+func deferred() {
+	defer cleanup() // want `deferred is marked //meda:hotpath but reaches defer`
+}
+
+func cleanup() {}
+
+//meda:hotpath
+func iterates(m map[int]int) int {
+	t := 0
+	for _, v := range m { // want `iterates is marked //meda:hotpath but reaches map iteration`
+		t += v
+	}
+	return t
+}
+
+//meda:hotpath
+func captures(n int) func() int {
+	return func() int { return n } // want `captures is marked //meda:hotpath but reaches closure capture`
+}
+
+//meda:hotpath
+func copies(src []int) []int {
+	var out []int
+	out = append(src, 1) // want `copies is marked //meda:hotpath but reaches append \(non-self\)`
+	return out
+}
+
+// The contract is interprocedural: the witness names the call chain.
+//
+//meda:hotpath
+func viaHelper() {
+	grow() // want `viaHelper is marked //meda:hotpath but reaches make via grow`
+}
+
+func grow() { _ = make([]int, 4) }
+
+// Two frames down, the chain still resolves.
+//
+//meda:hotpath
+func viaTwo() {
+	outer() // want `viaTwo is marked //meda:hotpath but reaches make via outer → grow`
+}
+
+func outer() { grow() }
+
+// Unannotated functions may allocate freely.
+func unannotated() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,12 @@
+// Package consumer holds a //meda:hotpath function whose allocation is two
+// frames away in another package: the finding exists only because
+// provider's AllocFacts crossed the package boundary.
+package consumer
+
+import "meda/internal/lint/testdata/hotallocfacts/provider"
+
+//meda:hotpath
+func Hot() int {
+	s := provider.Outer() // reaches make via provider.Outer → Grow
+	return len(s)
+}

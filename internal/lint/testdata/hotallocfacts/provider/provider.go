@@ -1,0 +1,10 @@
+// Package provider exports allocation summaries (AllocFacts) that the
+// consumer package resolves through the shared fact store.
+package provider
+
+// Grow allocates in its own body.
+func Grow() []int { return make([]int, 4) }
+
+// Outer reaches Grow's make one frame down, so the exported witness chain
+// already carries "Grow".
+func Outer() []int { return Grow() }

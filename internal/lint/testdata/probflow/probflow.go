@@ -1,0 +1,95 @@
+// Package probflow is the golden input for the probflow analyzer: the
+// constant cases inherited from the retired probliteral analyzer, plus the
+// computed-interval cases the value-range tier adds on top.
+package probflow
+
+import (
+	"math/rand"
+
+	"meda/internal/mdp"
+)
+
+type edge struct {
+	To   int
+	P    float64
+	Prob float64
+}
+
+func literals() []edge {
+	return []edge{
+		{To: 1, P: 0.5},
+		{To: 2, P: 1.5},  // want `probability literal 1\.5 for field P is outside \[0,1\]`
+		{To: 3, P: -0.1}, // want `probability literal -0\.1 for field P is outside \[0,1\]`
+		{4, 1.0, 2.0},    // want `probability literal 2 for field Prob is outside \[0,1\]`
+	}
+}
+
+func assigned(e *edge) {
+	e.P = 1
+	e.P = 1.01 // want `probability literal 1\.01 for field P is outside \[0,1\]`
+}
+
+func addTransition(to int, p float64) edge { return edge{To: to, P: p} }
+
+func calls() {
+	_ = addTransition(1, 0.25)
+	_ = addTransition(1, 7)           // want `probability literal 7 for parameter p is outside \[0,1\]`
+	_ = mdp.Transition{To: 0, P: 3.5} // want `probability literal 3\.5 for field P is outside \[0,1\]`
+}
+
+// Probability-named parameters are assumed in [0,1] (their call sites are
+// checked), so products and complements stay confined and are silent.
+func computed(p, prob float64) {
+	_ = edge{P: p * prob}
+	_ = edge{P: 1 - p}
+	_ = edge{P: p / 2}
+	_ = edge{P: p + prob} // want `computed probability for field P is in \[0, 2\], which can leave \[0,1\]`
+	_ = edge{P: p * 3}    // want `computed probability for field P is in \[0, 3\], which can leave \[0,1\]`
+	_ = edge{P: 0 - p}    // want `computed probability for field P is in \[-1, 0\], which can leave \[0,1\]`
+	_ = addTransition(1, p*prob)
+	_ = addTransition(1, p+prob) // want `computed probability for parameter p is in \[0, 2\], which can leave \[0,1\]`
+}
+
+// Probability-named field reads carry the same assumption.
+func fromFields(e edge) {
+	_ = edge{P: e.P * e.Prob}
+	_ = edge{P: e.P + e.Prob} // want `computed probability for field P is in \[0, 2\], which can leave \[0,1\]`
+}
+
+// A branch guard refines an unknown value into [0,1].
+func clamped(x float64) {
+	if x < 0 || x > 1 {
+		return
+	}
+	_ = edge{P: x}
+}
+
+// An unguarded unknown is ⊤ and never flags: absence of information is not
+// evidence of escape.
+func unknown(x float64) {
+	_ = edge{P: x}
+}
+
+// scale's return range [0, 1.5] is computed bottom-up over the package call
+// graph, so the consumption site two frames away sees the escape.
+func scale(p float64) float64 { return p * 1.5 }
+
+func halve(p float64) float64 { return p / 2 }
+
+func consume(q float64) {
+	_ = edge{P: halve(q)}
+	_ = edge{P: scale(q)} // want `computed probability for field P is in \[0, 1\.5\], which can leave \[0,1\]`
+}
+
+// Seeded stdlib knowledge: rand.Float64 is in [0,1).
+func draw(r *rand.Rand) {
+	_ = edge{P: r.Float64()}
+	_ = edge{P: r.Float64() * 2} // want `computed probability for field P is in \[0, 2\], which can leave \[0,1\]`
+}
+
+func notProbabilities(x float64, n int) {
+	// Fields and parameters without probability names are not constrained.
+	type point struct{ X, Y float64 }
+	_ = point{X: 4.5, Y: -2}
+	_ = n
+}

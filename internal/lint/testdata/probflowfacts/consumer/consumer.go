@@ -1,0 +1,16 @@
+// Package consumer consumes probability values computed upstream: the
+// finding exists only because provider's return-range facts crossed the
+// package boundary.
+package consumer
+
+import "meda/internal/lint/testdata/probflowfacts/provider"
+
+type edge struct {
+	To int
+	P  float64
+}
+
+func use(x float64) {
+	_ = edge{P: provider.Halve(x)}
+	_ = edge{P: provider.Scale(x)} // in [0, 1.5]: flagged through the imported fact
+}

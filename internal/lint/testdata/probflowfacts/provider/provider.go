@@ -1,0 +1,9 @@
+// Package provider exports probflow return-range facts (ProbRangeFact)
+// that the consumer package resolves through the shared fact store.
+package provider
+
+// Scale escapes the unit interval: its exported return range is [0, 1.5].
+func Scale(p float64) float64 { return p * 1.5 }
+
+// Halve stays confined: its exported return range is [0, 0.5].
+func Halve(p float64) float64 { return p / 2 }

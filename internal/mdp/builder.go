@@ -26,6 +26,8 @@ type Builder struct {
 
 // Reset discards the model under construction (and any model previously
 // built) while retaining slab capacity for the next build.
+//
+//meda:hotpath
 func (b *Builder) Reset() {
 	b.nStates = 0
 	b.built = false
@@ -42,6 +44,8 @@ func (b *Builder) Reset() {
 }
 
 // AddStates reserves n fresh states and returns the id of the first.
+//
+//meda:hotpath
 func (b *Builder) AddStates(n int) StateID {
 	if len(b.g.stateOff) == 0 {
 		b.Reset()
@@ -52,14 +56,20 @@ func (b *Builder) AddStates(n int) StateID {
 }
 
 // AddState reserves one fresh state and returns its id.
+//
+//meda:hotpath
 func (b *Builder) AddState() StateID { return b.AddStates(1) }
 
 // NumStates returns the number of states reserved so far.
+//
+//meda:hotpath
 func (b *Builder) NumStates() int { return b.nStates }
 
 // BeginChoice opens a choice of state s; the following Transition calls
 // populate its distribution. Choices must be added in non-decreasing state
 // order, and s must already be reserved.
+//
+//meda:hotpath
 func (b *Builder) BeginChoice(s StateID, action int, reward float64) {
 	if b.built {
 		panic("mdp: Builder.BeginChoice after Build; Reset first")
@@ -81,6 +91,8 @@ func (b *Builder) BeginChoice(s StateID, action int, reward float64) {
 }
 
 // Transition appends one probabilistic edge to the currently open choice.
+//
+//meda:hotpath
 func (b *Builder) Transition(to StateID, p float64) {
 	if len(b.g.actions) == 0 {
 		panic("mdp: Builder.Transition before BeginChoice")

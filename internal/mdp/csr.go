@@ -204,6 +204,8 @@ func (g *csr) reverseIndex() {
 
 // bellmanMax is max_c Σ_t P·src[t] over the choices of s (0 with none).
 // Slab fields are hoisted into locals to keep the inner loops tight.
+//
+//meda:hotpath
 func (g *csr) bellmanMax(s int, src []float64) float64 {
 	choiceOff, tos, probs := g.choiceOff, g.tos, g.probs
 	best := 0.0
@@ -223,6 +225,8 @@ func (g *csr) bellmanMax(s int, src []float64) float64 {
 // (+Inf with none). Zero-probability transitions are skipped so 0·Inf does
 // not poison finite values. The slab fields are hoisted into locals so the
 // inner loops stay free of repeated pointer loads.
+//
+//meda:hotpath
 func (g *csr) bellmanMin(s int, src []float64) float64 {
 	choiceOff, tos, probs := g.choiceOff, g.tos, g.probs
 	best := math.Inf(1)
@@ -306,6 +310,8 @@ func (g *csr) choiceStateOf(ci int) int {
 // bellmanMaxSL is bellmanMax with self-loop elimination. A pure self-loop
 // choice (slInv 0) is skipped: it can only ever yield the state's current
 // value, which a from-below iterate never exceeds.
+//
+//meda:hotpath
 func (g *csr) bellmanMaxSL(s int, src []float64) float64 {
 	choiceOff, tos, probs, inv := g.choiceOff, g.tos, g.probs, g.slInv
 	best := 0.0
@@ -327,6 +333,8 @@ func (g *csr) bellmanMaxSL(s int, src []float64) float64 {
 // bellmanMinSL is bellmanMin with self-loop elimination. A pure self-loop
 // choice never reaches the target, so its expected reward is +Inf and it is
 // skipped (slInv 0 would otherwise yield a spuriously cheap 0).
+//
+//meda:hotpath
 func (g *csr) bellmanMinSL(s int, src []float64) float64 {
 	choiceOff, tos, probs, inv := g.choiceOff, g.tos, g.probs, g.slInv
 	best := math.Inf(1)

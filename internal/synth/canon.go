@@ -148,6 +148,7 @@ func (t Transform) InvertPolicy(p Policy) Policy {
 // geometry.
 //
 //meda:deterministic
+//meda:hotpath
 func Canonicalize(rj route.RJ) (route.RJ, Transform) {
 	base := Transform{X0: rj.Hazard.XA, Y0: rj.Hazard.YA, W: rj.Hazard.Width(), H: rj.Hazard.Height()}
 	var best route.RJ
