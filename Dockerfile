@@ -1,0 +1,19 @@
+# Build and run the medad fleet service. The module is stdlib-only, so the
+# build needs no module downloads and the final image is a bare binary on
+# a minimal base.
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/medad ./cmd/medad
+
+FROM alpine:3.20
+RUN adduser -D -u 10001 medad && mkdir -p /var/lib/medad && chown medad /var/lib/medad
+COPY --from=build /out/medad /usr/local/bin/medad
+USER medad
+VOLUME /var/lib/medad
+EXPOSE 7080
+# Fleet service only: the single-chip device protocol and the debug mux are
+# off by default; override the command to enable them.
+ENTRYPOINT ["/usr/local/bin/medad"]
+CMD ["-api", "0.0.0.0:7080", "-listen", "", "-http", "", "-data", "/var/lib/medad"]

@@ -1,19 +1,34 @@
-// Command medad hosts a simulated MEDA biochip on a TCP socket, speaking the
-// newline-delimited JSON protocol of internal/device — the cyber-physical
-// interface between a routing controller and the chip (Fig. 13/14). Any
-// controller can dispense droplets, issue one microfluidic action per
-// operational cycle, and read back the 2-bit health matrix while the chip
-// degrades underneath it.
+// Command medad is the MEDA biochip daemon. It serves two independent
+// front ends, either or both:
 //
-//	medad -listen 127.0.0.1:7070 -seed 7 -faults clustered
+//   - Device-protocol mode (-listen): one simulated chip on a TCP socket
+//     speaking the newline-delimited JSON protocol of internal/device. Any
+//     controller can dispense droplets, issue one microfluidic action per
+//     operational cycle, and read back the 2-bit health matrix while the
+//     chip degrades underneath it.
 //
-// Try it with netcat:
+//   - Fleet-service mode (-api): a multi-tenant REST + WebSocket service
+//     (internal/serve) multiplexing many chips and assay jobs over the
+//     synthesis/scheduling/simulation stack, with durable
+//     snapshot-plus-journal persistence under -data.
+//
+//     medad -listen 127.0.0.1:7070 -seed 7 -faults clustered
+//     medad -api 127.0.0.1:7080 -data /var/lib/medad -listen ""
+//
+// Try the device protocol with netcat:
 //
 //	$ echo '{"op":"info"}' | nc 127.0.0.1 7070
 //	{"ok":true,"w":60,"h":30,"bits":2}
+//
+// SIGINT or SIGTERM drains everything gracefully: the device listener
+// closes and chip wear is saved (-state), the fleet finishes in-flight
+// checkpoints, snapshots, and closes event streams with a proper
+// WebSocket handshake. Every shutdown error is reported and makes the
+// exit status non-zero.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,123 +37,145 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
-	"meda"
-	"meda/internal/chip"
-	"meda/internal/device"
-	"meda/internal/randx"
+	"meda/internal/serve"
 	"meda/internal/telemetry"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7070", "TCP address to listen on")
-	seed := flag.Uint64("seed", 2021, "chip seed")
-	faults := flag.String("faults", "none", "fault injection: none, uniform, clustered")
-	fraction := flag.Float64("fraction", 0.12, "fraction of faulty microelectrodes")
-	state := flag.String("state", "", "chip state file: loaded at start if present, saved on interrupt (wear persists)")
-	httpAddr := flag.String("http", "127.0.0.1:7071", "debug HTTP address serving /metrics and /debug/pprof/ (empty disables)")
-	flag.Parse()
-
-	cfg := meda.DefaultChipConfig()
-	switch *faults {
-	case "none":
-	case "uniform":
-		cfg.Faults = meda.FaultPlan{Mode: meda.FaultUniform, Fraction: *fraction, FailAfterLo: 10, FailAfterHi: 120}
-	case "clustered":
-		cfg.Faults = meda.FaultPlan{Mode: meda.FaultClustered, Fraction: *fraction, FailAfterLo: 10, FailAfterHi: 120}
-	default:
-		fmt.Fprintln(os.Stderr, "medad: -faults must be none, uniform, or clustered")
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "medad: %v\n", err)
 		os.Exit(2)
 	}
-	src := randx.New(*seed)
-	var c *chip.Chip
-	var err error
-	if *state != "" {
-		if f, ferr := os.Open(*state); ferr == nil {
-			c, err = chip.LoadState(f)
-			//lint:ignore errflowstrict close error on a read-only file is meaningless once LoadState decided
-			f.Close()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "medad: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("medad: restored worn chip from %s\n", *state)
-		}
-	}
-	if c == nil {
-		c, err = chip.New(cfg, src.Split("chip"))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "medad: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "medad: %v\n", err)
 		os.Exit(1)
 	}
-	if *state != "" {
-		// Persist the chip's wear on interrupt, like powering down real
-		// hardware. The handler only closes the listener; the save itself
-		// happens below, after Serve returns, through the device lock —
-		// never on a goroutine racing the connection handlers (see the
-		// medalint chipaccess analyzer).
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		go func() {
-			<-sig
-			if err := ln.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "medad: closing listener: %v\n", err)
+}
+
+// shutdownTimeout bounds the graceful drain after SIGINT/SIGTERM.
+const shutdownTimeout = 30 * time.Second
+
+// run wires the configured modes together and blocks until a signal
+// arrives, then drains everything and joins every error seen on the way
+// down.
+func run(cfg config) error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+
+	if cfg.httpAddr != "" {
+		hln, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			return fmt.Errorf("debug http: %w", err)
+		}
+		defer func() {
+			if cerr := hln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "medad: closing debug listener: %v\n", cerr)
 			}
 		}()
-	}
-	if *httpAddr != "" {
-		// Observability sidecar: expvar-style metrics plus the stdlib
-		// profiler, on a dedicated mux so the device protocol port stays
-		// JSON-only. Registered by hand rather than via the pprof package's
-		// DefaultServeMux side effects.
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		hln, herr := net.Listen("tcp", *httpAddr)
-		if herr != nil {
-			fmt.Fprintf(os.Stderr, "medad: debug http: %v\n", herr)
-			os.Exit(1)
-		}
 		fmt.Printf("medad: metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n",
 			hln.Addr(), hln.Addr())
 		go func() {
-			if err := http.Serve(hln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+			if err := http.Serve(hln, debugMux()); err != nil && !errors.Is(err, net.ErrClosed) {
 				fmt.Fprintf(os.Stderr, "medad: debug http: %v\n", err)
 			}
 		}()
-		defer hln.Close()
 	}
-	fmt.Printf("medad: %d×%d biochip (seed %d, faults %s) listening on %s\n",
-		cfg.W, cfg.H, *seed, *faults, ln.Addr())
-	srv := device.NewServer(c, src.Split("nature"))
-	serveErr := srv.Serve(ln)
-	if *state != "" && errors.Is(serveErr, net.ErrClosed) {
-		f, err := os.Create(*state)
-		if err == nil {
-			err = srv.SaveState(f)
-			if cerr := f.Close(); cerr != nil && err == nil {
-				err = cerr
-			}
-		}
+
+	var apiSrv *serve.Server
+	if cfg.apiAddr != "" {
+		var err error
+		apiSrv, err = serve.NewServer(serve.Config{
+			DataDir:         cfg.dataDir,
+			MaxConcurrent:   cfg.maxConcurrent,
+			CheckpointEvery: cfg.checkpointEvery,
+			SnapshotEvery:   cfg.snapshotEvery,
+		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "medad: saving state: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("fleet service: %w", err)
 		}
-		fmt.Printf("medad: chip state saved to %s\n", *state)
-		return
+		aln, err := net.Listen("tcp", cfg.apiAddr)
+		if err != nil {
+			return fmt.Errorf("fleet service: %w", err)
+		}
+		h := apiSrv.Fleet.Healthz()
+		fmt.Printf("medad: fleet service on http://%s/api/v1 (%d tenants, %d chips restored)\n",
+			aln.Addr(), h.Tenants, h.Chips)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := apiSrv.Serve(aln); err != nil {
+				errCh <- fmt.Errorf("fleet service: %w", err)
+			}
+		}()
 	}
-	if serveErr != nil {
-		fmt.Fprintf(os.Stderr, "medad: %v\n", serveErr)
-		os.Exit(1)
+
+	var devLn net.Listener
+	if cfg.listenAddr != "" {
+		dev, err := newDeviceMode(cfg)
+		if err != nil {
+			return err
+		}
+		devLn, err = net.Listen("tcp", cfg.listenAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("medad: %d×%d biochip (seed %d, faults %s) listening on %s\n",
+			cfg.chipCfg.W, cfg.chipCfg.H, cfg.seed, cfg.faults, devLn.Addr())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := dev.serve(devLn); err != nil {
+				errCh <- fmt.Errorf("device server: %w", err)
+			}
+		}()
 	}
+
+	<-sig
+	fmt.Println("medad: shutting down")
+	if devLn != nil {
+		if err := devLn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			errCh <- fmt.Errorf("closing device listener: %w", err)
+		}
+	}
+	if apiSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		if err := apiSrv.Shutdown(ctx); err != nil {
+			errCh <- fmt.Errorf("fleet shutdown: %w", err)
+		}
+		cancel()
+	}
+	wg.Wait()
+	close(errCh)
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// debugMux is the observability sidecar: expvar-style metrics plus the
+// stdlib profiler, on a dedicated mux so the service ports stay clean.
+// Registered by hand rather than via the pprof package's DefaultServeMux
+// side effects.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -28,7 +28,16 @@ func main() {
 	injectKinds := flag.String("inject-kinds", "all", "soft-fault classes: comma list of act, sense, ctl (or all, none)")
 	injectSeed := flag.Uint64("inject-seed", 0, "soft-fault seed (0 = experiment seed)")
 	traceFile := flag.String("trace", "", "write telemetry spans as JSONL to this file")
+	remote := flag.String("remote", "", "medad fleet-service URL: run the benchmark sweep there instead of the local drivers")
+	tenant := flag.String("tenant", "medaexp", "tenant ID for -remote")
 	flag.Parse()
+	if *remote != "" {
+		if err := remoteSweep(*remote, *tenant, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "medaexp: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	exp.SetRouterConfig(*workers, *cacheSize)
 	exp.SetConcurrent(*concurrent)
 	if *inject > 0 {

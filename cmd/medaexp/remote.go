@@ -1,0 +1,82 @@
+// Remote sweep: run the benchmark suite on a medad fleet service instead
+// of the local experiment drivers. One chip per benchmark, all jobs
+// submitted up front, executed concurrently by the fleet's workers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"meda/internal/assay"
+	"meda/pkg/api"
+	"meda/pkg/client"
+)
+
+// remoteSweep submits every benchmark to the service and renders a
+// per-assay summary table once all jobs finish.
+func remoteSweep(url, tenant string, seed uint64, quick bool) error {
+	ctx := context.Background()
+	c := client.New(url)
+	if _, err := c.CreateTenant(ctx, tenant); err != nil && !client.IsConflict(err) {
+		return err
+	}
+	benches := assay.AllBenchmarks
+	if quick {
+		benches = []assay.Benchmark{assay.CovidRAT, assay.SerialDilution}
+	}
+	jobs := make([]remoteJob, 0, len(benches))
+	for i, b := range benches {
+		chipID := "exp-" + b.Slug()
+		spec := api.ChipSpec{ID: chipID, Seed: seed + uint64(i)}
+		if _, err := c.CreateChip(ctx, tenant, spec); err != nil && !client.IsConflict(err) {
+			return err
+		}
+		st, err := c.SubmitJob(ctx, tenant, api.JobSpec{Chip: chipID, Benchmark: b.Slug(), Seed: seed})
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, remoteJob{id: st.ID, b: b})
+		fmt.Printf("medaexp: submitted %s as %s\n", b, st.ID)
+	}
+	fmt.Println()
+	renderRemoteSweep(os.Stdout, ctx, c, tenant, jobs)
+	return nil
+}
+
+// remoteJob pairs a submitted job ID with its benchmark for rendering.
+type remoteJob struct {
+	id string
+	b  assay.Benchmark
+}
+
+// renderRemoteSweep waits for each job and prints one table row per assay.
+func renderRemoteSweep(w io.Writer, ctx context.Context, c *client.Client, tenant string, jobs []remoteJob) {
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %12s  %s\n", "assay", "cycles", "stalls", "resynth", "actuations", "status")
+	for _, j := range jobs {
+		b := j.b
+		st, err := c.WaitJob(ctx, tenant, j.id)
+		if err != nil {
+			fmt.Fprintf(w, "%-16s %s\n", b.Slug(), err)
+			continue
+		}
+		if st.Result == nil {
+			fmt.Fprintf(w, "%-16s %s\n", b.Slug(), st.State)
+			continue
+		}
+		status := "ok"
+		if !st.Result.Success {
+			status = "ABORTED"
+		}
+		if st.State == api.JobFailed {
+			status = "FAILED: " + st.Error
+		}
+		actuations := 0
+		if cs, cerr := c.Chip(ctx, tenant, st.Spec.Chip); cerr == nil {
+			actuations = cs.Actuations
+		}
+		fmt.Fprintf(w, "%-16s %8d %8d %8d %12d  %s\n",
+			b.Slug(), st.Result.Cycles, st.Result.Stalls, st.Result.Resyntheses, actuations, status)
+	}
+}

@@ -13,21 +13,8 @@ import (
 
 	"meda"
 	"meda/internal/telemetry"
+	"meda/pkg/api"
 )
-
-var benchmarks = map[string]meda.Benchmark{
-	"master-mix":      meda.MasterMix,
-	"cep":             meda.CEP,
-	"serial-dilution": meda.SerialDilution,
-	"nuip":            meda.NuIP,
-	"covid-rat":       meda.CovidRAT,
-	"covid-pcr":       meda.CovidPCR,
-	"chip":            meda.ChIP,
-	"in-vitro":        meda.InVitro,
-	"gene-expression": meda.GeneExpression,
-	"protein":         meda.Protein,
-	"pcr-mix":         meda.PCRMix,
-}
 
 func main() {
 	assayName := flag.String("assay", "serial-dilution", "bioassay: "+names())
@@ -46,7 +33,43 @@ func main() {
 	workers := flag.Int("workers", 0, "background synthesis workers for the adaptive router (0 = GOMAXPROCS, negative = synchronous routing)")
 	cacheSize := flag.Int("cache", -1, "strategy-cache bound for the adaptive router (0 disables, negative = default)")
 	traceFile := flag.String("trace", "", "write telemetry spans as JSONL to this file")
+	remote := flag.String("remote", "", "medad fleet-service URL: submit the assay there instead of simulating locally")
+	tenant := flag.String("tenant", "medasim", "tenant ID for -remote")
+	chipID := flag.String("chip", "chip-0", "chip ID for -remote (created if missing)")
 	flag.Parse()
+
+	if *remote != "" {
+		// Remote mode: the service owns routing (always adaptive, with the
+		// fallback ladder when injection is on), so -router and the local
+		// tuning flags do not apply.
+		o := remoteOpts{
+			url:    *remote,
+			tenant: *tenant,
+			chip: api.ChipSpec{
+				ID: *chipID, Seed: *seed,
+				HardFaults: *faults, FaultFraction: *fraction,
+				InjectRate: *inject, InjectKinds: *injectKinds, InjectSeed: *injectSeed,
+			},
+			job: api.JobSpec{
+				Chip: *chipID, Benchmark: *assayName,
+				Area: *area, Seed: *seed, KMax: *kmax, Concurrent: *concurrent,
+			},
+		}
+		if *file != "" {
+			text, err := os.ReadFile(*file)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "medasim: %v\n", err)
+				os.Exit(1)
+			}
+			o.job.Benchmark = ""
+			o.job.Assay = string(text)
+		}
+		if err := runRemote(o); err != nil {
+			fmt.Fprintf(os.Stderr, "medasim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -70,7 +93,7 @@ func main() {
 	var bench meda.Benchmark
 	if *file == "" {
 		var ok bool
-		bench, ok = benchmarks[*assayName]
+		bench, ok = meda.ParseBenchmark(*assayName)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "medasim: unknown assay %q (want one of %s)\n", *assayName, names())
 			os.Exit(2)
@@ -191,18 +214,4 @@ func main() {
 	}
 }
 
-func names() string {
-	var out []string
-	for n := range benchmarks {
-		out = append(out, n)
-	}
-	// Stable-ish order for the usage string.
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j] < out[i] {
-				out[i], out[j] = out[j], out[i]
-			}
-		}
-	}
-	return strings.Join(out, ", ")
-}
+func names() string { return strings.Join(meda.BenchmarkSlugs(), ", ") }

@@ -1,0 +1,90 @@
+// Remote execution: instead of simulating locally, submit the assay to a
+// medad fleet service (-remote http://host:port) and stream its progress
+// over the WebSocket event feed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"meda/pkg/api"
+	"meda/pkg/client"
+)
+
+// remoteOpts carries everything the remote path needs, resolved from the
+// same flags as local simulation.
+type remoteOpts struct {
+	url    string
+	tenant string
+	chip   api.ChipSpec
+	job    api.JobSpec
+}
+
+// runRemote creates tenant and chip idempotently, submits the job, relays
+// its events, and prints the final execution summary.
+func runRemote(o remoteOpts) error {
+	ctx := context.Background()
+	c := client.New(o.url)
+	if _, err := c.CreateTenant(ctx, o.tenant); err != nil && !client.IsConflict(err) {
+		return err
+	}
+	if _, err := c.CreateChip(ctx, o.tenant, o.chip); err != nil && !client.IsConflict(err) {
+		return err
+	}
+	es, err := c.StreamEvents(ctx, o.tenant)
+	if err != nil {
+		return err
+	}
+	defer es.Close()
+
+	st, err := c.SubmitJob(ctx, o.tenant, o.job)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (tenant %s, chip %s) to %s\n", st.ID, o.tenant, o.job.Chip, o.url)
+
+	for done := false; !done; {
+		ev, rerr := es.Next()
+		if rerr != nil {
+			break // stream gone: fall through to polling for the result
+		}
+		if ev.Job != st.ID {
+			continue
+		}
+		switch ev.Type {
+		case api.EvJobStarted:
+			fmt.Printf("  started\n")
+		case api.EvJobProgress:
+			var p api.Progress
+			if json.Unmarshal(ev.Data, &p) == nil {
+				fmt.Printf("  cycle %4d: %d operations done, %d droplets live\n",
+					p.Cycle, p.JobsCompleted, p.Droplets)
+			}
+		case api.EvJobDegraded, api.EvJobDeadlock, api.EvJobDivergence, api.EvJobHazard:
+			fmt.Printf("  %s\n", ev.Type)
+		case api.EvJobDone, api.EvJobFailed, api.EvJobCanceled:
+			done = true
+		}
+	}
+
+	final, err := c.WaitJob(ctx, o.tenant, st.ID)
+	if err != nil {
+		return err
+	}
+	switch {
+	case final.State == api.JobDone && final.Result != nil:
+		ex := final.Result
+		status := "ok"
+		if !ex.Success {
+			status = "ABORTED"
+		}
+		fmt.Printf("  %s: %4d cycles  %-7s  (stalls %d, re-syntheses %d)\n",
+			final.ID, ex.Cycles, status, ex.Stalls, ex.Resyntheses)
+	case final.State == api.JobFailed:
+		return fmt.Errorf("remote job %s failed: %s", final.ID, final.Error)
+	default:
+		fmt.Printf("  %s: %s\n", final.ID, final.State)
+	}
+	return nil
+}

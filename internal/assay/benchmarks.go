@@ -7,6 +7,8 @@
 // the droplet sizes 3×3 … 6×6 studied in Fig. 3.
 package assay
 
+import "strings"
+
 // Benchmark identifies one of the generated benchmark protocols.
 type Benchmark int
 
@@ -28,6 +30,13 @@ const (
 	Protein
 	PCRMix
 )
+
+// AllBenchmarks lists every generated benchmark protocol, in declaration
+// order.
+var AllBenchmarks = []Benchmark{
+	MasterMix, CEP, SerialDilution, NuIP, CovidRAT, CovidPCR,
+	ChIP, InVitro, GeneExpression, Protein, PCRMix,
+}
 
 // EvaluationBenchmarks are the six bioassays of the Sec. VII evaluation
 // (Figs. 15–16), in the paper's order.
@@ -64,6 +73,30 @@ func (b Benchmark) String() string {
 		return "PCR-Mix"
 	}
 	return "unknown"
+}
+
+// Slug returns the benchmark's lowercase machine name ("serial-dilution"),
+// the form CLI flags and the fleet-service API accept.
+func (b Benchmark) Slug() string { return strings.ToLower(b.String()) }
+
+// ParseBenchmark resolves a benchmark by slug or display name,
+// case-insensitively. The boolean reports whether the name was recognized.
+func ParseBenchmark(name string) (Benchmark, bool) {
+	for _, b := range AllBenchmarks {
+		if strings.EqualFold(name, b.String()) {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// BenchmarkSlugs lists every benchmark's slug, for usage strings.
+func BenchmarkSlugs() []string {
+	out := make([]string, len(AllBenchmarks))
+	for i, b := range AllBenchmarks {
+		out[i] = b.Slug()
+	}
+	return out
 }
 
 // Build generates the benchmark's sequencing graph for the given layout and

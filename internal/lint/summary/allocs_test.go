@@ -1,0 +1,132 @@
+package summary_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"meda/internal/lint/analysis"
+	"meda/internal/lint/summary"
+)
+
+// loadAllocs computes allocation summaries for the allocs fixture package.
+func loadAllocs(t *testing.T) (*analysis.Pass, summary.AllocSummaries) {
+	t.Helper()
+	dir := filepath.Join("testdata", "allocs")
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Facts:     analysis.NewFactStore(),
+		Report:    func(analysis.Diagnostic) {},
+	}
+	return pass, summary.ComputeAllocs(pass)
+}
+
+// kindsOf flattens a summary to its kind strings.
+func kindsOf(s *summary.AllocFacts) map[string]summary.Source {
+	out := map[string]summary.Source{}
+	if s == nil {
+		return out
+	}
+	for _, src := range s.Allocs {
+		out[src.Kind] = src
+	}
+	return out
+}
+
+// TestDirectAllocKinds: each fixture function reports exactly the kind it
+// was written to exhibit.
+func TestDirectAllocKinds(t *testing.T) {
+	pass, sums := loadAllocs(t)
+	cases := map[string]string{
+		"MakeSlice":     "make",
+		"NewInt":        "new",
+		"AmpLit":        "composite literal allocation",
+		"SliceLit":      "composite literal allocation",
+		"MapLit":        "composite literal allocation",
+		"BoxArg":        "interface boxing",
+		"BoxVariadic":   "interface boxing",
+		"BoxAssign":     "interface boxing",
+		"BoxConv":       "interface boxing",
+		"NonSelfAppend": "append (non-self)",
+		"Closure":       "closure capture",
+		"Spawn":         "go statement",
+		"Deferred":      "defer",
+		"MapWalk":       "map iteration",
+	}
+	for name, want := range cases {
+		s := sums.Of(pass, fn(t, pass, name))
+		kinds := kindsOf(s)
+		if _, ok := kinds[want]; !ok {
+			t.Errorf("%s: missing alloc kind %q (got %v)", name, want, kinds)
+		}
+		if src := kinds[want]; !src.Pos.IsValid() {
+			t.Errorf("%s: witness for %q has no position", name, want)
+		}
+	}
+}
+
+// TestCleanFunctionsStayClean: the counterexamples report no sources, and
+// export no facts.
+func TestCleanFunctionsStayClean(t *testing.T) {
+	pass, sums := loadAllocs(t)
+	for _, name := range []string{"Clean", "SelfAppend", "ReuseAppend", "ConstArg", "PointerArg", "InterfaceArg", "FreeLit", "eat"} {
+		if s := sums.Of(pass, fn(t, pass, name)); s != nil && len(s.Allocs) > 0 {
+			t.Errorf("%s: unexpected alloc sources %v", name, kindsOf(s))
+		}
+	}
+	var fact summary.AllocFacts
+	if pass.ImportObjectFact(fn(t, pass, "Clean"), &fact) {
+		t.Errorf("Clean exported an alloc fact: %+v", fact)
+	}
+}
+
+// TestTransitiveAllocsWithViaChain: callee sources propagate bottom-up with
+// witness chains, and allocating functions export facts.
+func TestTransitiveAllocsWithViaChain(t *testing.T) {
+	pass, sums := loadAllocs(t)
+	one := kindsOf(sums.Of(pass, fn(t, pass, "CallsMake")))
+	if src, ok := one["make"]; !ok || src.Via != "MakeSlice" {
+		t.Errorf("CallsMake: want make via MakeSlice, got %v", one)
+	}
+	two := kindsOf(sums.Of(pass, fn(t, pass, "CallsCallsMake")))
+	if src, ok := two["make"]; !ok || src.Via != "CallsMake → MakeSlice" {
+		t.Errorf("CallsCallsMake: want make via CallsMake → MakeSlice, got %v", two)
+	}
+
+	var fact summary.AllocFacts
+	if !pass.ImportObjectFact(fn(t, pass, "MakeSlice"), &fact) {
+		t.Fatal("MakeSlice: no AllocFacts fact exported")
+	}
+	if len(fact.Allocs) != 1 || fact.Allocs[0].Kind != "make" {
+		t.Errorf("MakeSlice fact = %+v", fact)
+	}
+}
+
+// TestAllocsOfResolution: Of answers from the local map, falls back to the
+// fact store, and is nil-safe.
+func TestAllocsOfResolution(t *testing.T) {
+	pass, _ := loadAllocs(t)
+	var empty summary.AllocSummaries
+	if empty.Of(pass, nil) != nil {
+		t.Error("Of(nil) should be nil")
+	}
+	// The compute pass exported facts, so even an empty map resolves an
+	// allocating function through the store…
+	if s := empty.Of(pass, fn(t, pass, "MakeSlice")); s == nil || len(s.Allocs) != 1 {
+		t.Errorf("fact fallback failed: %+v", s)
+	}
+	// …while a clean function (no fact) stays unresolved.
+	if s := empty.Of(pass, fn(t, pass, "Clean")); s != nil {
+		t.Errorf("Clean resolved to %+v, want nil", s)
+	}
+}

@@ -1,0 +1,110 @@
+// Package allocs is the allocation-summary test fixture: one function per
+// allocation kind the analyzer distinguishes, plus clean counterexamples.
+package allocs
+
+type point struct{ x, y int }
+
+// eat is an interface sink for boxing tests.
+func eat(v interface{}) { _ = v }
+
+// eatMany is a variadic interface sink.
+func eatMany(vs ...interface{}) { _ = vs }
+
+// ---- direct allocation sources ----------------------------------------
+
+// MakeSlice allocates with the make builtin.
+func MakeSlice(n int) []int { return make([]int, n) }
+
+// NewInt allocates with the new builtin.
+func NewInt() *int { return new(int) }
+
+// AmpLit takes the address of a composite literal.
+func AmpLit() *point { return &point{1, 2} }
+
+// SliceLit allocates a slice literal's backing array.
+func SliceLit() []int { return []int{1, 2, 3} }
+
+// MapLit allocates a map literal.
+func MapLit() map[string]int { return map[string]int{"a": 1} }
+
+// BoxArg boxes a concrete int into an interface parameter.
+func BoxArg(x int) { eat(x) }
+
+// BoxVariadic boxes concrete values into a variadic interface parameter.
+func BoxVariadic(a, b int) { eatMany(a, b) }
+
+// BoxAssign boxes through an assignment to an interface variable.
+func BoxAssign(x int) interface{} {
+	var v interface{}
+	v = x
+	return v
+}
+
+// BoxConv boxes through an explicit conversion to an interface type.
+func BoxConv(x point) interface{} { return interface{}(x) }
+
+// NonSelfAppend copies src on every call.
+func NonSelfAppend(dst, src []int) []int {
+	dst = append(src, 1)
+	return dst
+}
+
+// Closure captures a local and must carry an environment.
+func Closure(x int) func() int { return func() int { return x } }
+
+// Spawn starts a goroutine.
+func Spawn() { go func() {}() }
+
+// Deferred defers a call.
+func Deferred() {
+	defer eatNothing()
+}
+
+func eatNothing() {}
+
+// MapWalk iterates a map.
+func MapWalk(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// ---- transitive propagation -------------------------------------------
+
+// CallsMake allocates only through its callee.
+func CallsMake(n int) []int { return MakeSlice(n) }
+
+// CallsCallsMake is two hops from the make.
+func CallsCallsMake(n int) []int { return CallsMake(n) }
+
+// ---- clean counterexamples --------------------------------------------
+
+// Clean does arithmetic only.
+func Clean(a, b int) int { return a*b + a }
+
+// SelfAppend is the amortized-growth idiom.
+func SelfAppend(s []int, x int) []int {
+	s = append(s, x)
+	return s
+}
+
+// ReuseAppend truncates and reuses the target's backing array.
+func ReuseAppend(s []int, x int) []int {
+	s = append(s[:0], x)
+	return s
+}
+
+// ConstArg passes a constant to an interface parameter: materialized in
+// static data, not boxed at run time.
+func ConstArg() { eat("msg") }
+
+// PointerArg passes a pointer: fits the interface word, no boxing.
+func PointerArg(p *point) { eat(p) }
+
+// InterfaceArg re-passes a value already of interface type.
+func InterfaceArg(v interface{}) { eat(v) }
+
+// FreeLit is a capture-free function literal: compiles to a static func.
+func FreeLit() func(int) int { return func(x int) int { return x + 1 } }

@@ -124,6 +124,7 @@ func (l *Library) Load(r io.Reader) error {
 		rj := route.RJ{Start: arrToRect(e.Start), Goal: arrToRect(e.Goal), Hazard: arrToRect(e.Hazard)}
 		key, tf := canonical(rj)
 		l.entries[key] = libEntry{policy: tf.ApplyPolicy(policy), value: e.Value}
+		l.gen++
 	}
 	return nil
 }

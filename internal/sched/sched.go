@@ -118,6 +118,10 @@ type Library struct {
 	entries map[libKey]libEntry
 	hits    int
 	misses  int
+	// gen counts mutations (Store and Load merges). Persistence layers
+	// poll it to decide whether a snapshot of the library is stale; see
+	// Generation.
+	gen uint64
 }
 
 // NewLibrary returns an empty strategy library.
@@ -169,7 +173,22 @@ func (l *Library) Store(rj route.RJ, p synth.Policy, value float64) {
 	e := libEntry{policy: tf.ApplyPolicy(p), value: value}
 	l.mu.Lock()
 	l.entries[key] = e
+	l.gen++
 	l.mu.Unlock()
+}
+
+// Generation returns a counter that increments on every mutation (Store or
+// Load). A persistence layer that recorded the generation at its last Save
+// can skip re-serializing an unchanged library:
+//
+//	if lib.Generation() != lastSaved { lib.Save(w); lastSaved = lib.Generation() }
+//
+// The counter is monotone within a process and carries no meaning across
+// processes.
+func (l *Library) Generation() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
 }
 
 // Stats returns (hits, misses, size).
@@ -244,10 +263,14 @@ type Adaptive struct {
 	attempts map[CacheKey]int
 }
 
-// SetFaultInjector implements FaultAware. Passing nil detaches.
+// SetFaultInjector implements FaultAware. Passing nil detaches. Attempt
+// counters are scoped to the injector's lifetime: attaching resets them, so
+// an execution replayed with a fresh runner (the fleet service's resume
+// path) draws the same injected-fault decisions as the original run.
 func (a *Adaptive) SetFaultInjector(f FaultInjector) {
 	a.mu.Lock()
 	a.faults = f
+	a.attempts = nil
 	a.mu.Unlock()
 }
 

@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"meda/pkg/api"
+)
+
+// mkRecord builds a CRC-valid record.
+func mkRecord(seq int64, typ string, payload any) Record {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		panic(err)
+	}
+	return Record{Seq: seq, Type: typ, Data: data, CRC: recordCRC(seq, typ, data)}
+}
+
+// journalBytes serializes records the way journalWriter does.
+func journalBytes(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func testRecords(n int) []Record {
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		recs = append(recs, mkRecord(int64(i+1), recTenantCreate, tenantCreateRec{ID: "t"}))
+	}
+	return recs
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	recs := testRecords(20)
+	got, dropped, err := readJournal(bytes.NewReader(journalBytes(t, recs)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round-trip mismatch: got %d records", len(got))
+	}
+}
+
+func TestJournalSkipsSnapshotCoveredRecords(t *testing.T) {
+	recs := testRecords(10)
+	got, _, err := readJournal(bytes.NewReader(journalBytes(t, recs)), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Seq != 8 {
+		t.Fatalf("afterSeq=7: got %d records starting at %d, want 3 starting at 8", len(got), got[0].Seq)
+	}
+}
+
+// isPrefix reports whether got is a prefix of want.
+func isPrefix(got, want []Record) bool {
+	if len(got) > len(want) {
+		return false
+	}
+	if len(got) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want[:len(got)])
+}
+
+// A journal truncated at ANY byte offset — the on-disk state after a crash
+// mid-append — must read back as a valid prefix of what was written, with
+// no error.
+func TestJournalTruncationYieldsPrefix(t *testing.T) {
+	recs := testRecords(8)
+	full := journalBytes(t, recs)
+	for cut := 0; cut <= len(full); cut++ {
+		got, _, err := readJournal(bytes.NewReader(full[:cut]), 0)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if !isPrefix(got, recs) {
+			t.Fatalf("cut at %d: %d records are not a prefix", cut, len(got))
+		}
+	}
+}
+
+// Flipping any single byte must never fabricate state: the CRC catches the
+// damage and everything from the damaged record on is dropped.
+func TestJournalByteFlipYieldsPrefix(t *testing.T) {
+	recs := testRecords(8)
+	full := journalBytes(t, recs)
+	for off := 0; off < len(full); off++ {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0x20
+		got, _, err := readJournal(bytes.NewReader(mut), 0)
+		if err != nil {
+			t.Fatalf("flip at %d: %v", off, err)
+		}
+		if !isPrefix(got, recs) {
+			t.Fatalf("flip at %d: result is not a prefix of the original records", off)
+		}
+	}
+}
+
+func TestJournalSequenceRegressionStops(t *testing.T) {
+	recs := testRecords(5)
+	recs[3] = mkRecord(2, recTenantCreate, tenantCreateRec{ID: "t"}) // CRC-valid but out of order
+	got, dropped, err := readJournal(bytes.NewReader(journalBytes(t, recs)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || dropped != 2 {
+		t.Fatalf("got %d records, %d dropped; want 3 and 2", len(got), dropped)
+	}
+}
+
+// storeFixtureState drives a store through a representative record sequence.
+func storeFixtureState(t *testing.T, s *Store) {
+	t.Helper()
+	chipState := json.RawMessage(`{"version":1,"w":2,"h":2}`)
+	appends := []struct {
+		typ     string
+		payload any
+	}{
+		{recTenantCreate, tenantCreateRec{ID: "acme"}},
+		{recWebhookAdd, webhookAddRec{Tenant: "acme", Spec: api.WebhookSpec{URL: "http://x/hook"}}},
+		{recChipCreate, chipCreateRec{Tenant: "acme", Spec: api.ChipSpec{ID: "c1", Seed: 7}, State: chipState}},
+		{recJobSubmit, jobSubmitRec{ID: "j-000001", Tenant: "acme", Spec: api.JobSpec{Chip: "c1", Benchmark: "serial-dilution", Seed: 7}}},
+		{recJobStart, jobStartRec{Job: "j-000001", Tenant: "acme", Chip: "c1", State: chipState}},
+		{recJobProgress, jobProgressRec{Job: "j-000001", Progress: api.Progress{Cycle: 16, Digest: "00deadbeef00cafe"}}},
+		{recJobDone, jobDoneRec{Job: "j-000001", Result: &api.Execution{Success: true, Cycles: 120}, State: chipState}},
+		{recJobSubmit, jobSubmitRec{ID: "j-000002", Tenant: "acme", Spec: api.JobSpec{Chip: "c1", Benchmark: "cep", Seed: 8}}},
+		{recJobCancel, jobCancelRec{Job: "j-000002"}},
+	}
+	for _, a := range appends {
+		if err := s.Append(a.typ, a.payload, false); err != nil {
+			t.Fatalf("append %s: %v", a.typ, err)
+		}
+	}
+}
+
+func marshalState(t *testing.T, st *State) []byte {
+	t.Helper()
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// Replaying snapshot + journal must reconstruct exactly the in-memory
+// mirror the writing process had — the store's core invariant.
+func TestStoreReplayMatchesMirror(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeFixtureState(t, s)
+	want := marshalState(t, s.State())
+	s.CloseAbrupt() // crash: no snapshot, journal only
+
+	re, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseAbrupt()
+	if got := marshalState(t, re.State()); !bytes.Equal(got, want) {
+		t.Fatalf("replayed state differs from mirror:\n got %s\nwant %s", got, want)
+	}
+	if re.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", re.Dropped())
+	}
+	// JobsDone must not double-count (job_done applied exactly once).
+	if n := re.State().Tenants["acme"].Chips["c1"].JobsDone; n != 1 {
+		t.Fatalf("jobs done = %d, want 1", n)
+	}
+}
+
+// A crash-damaged journal tail (garbage after the last good record) is
+// dropped cleanly and counted; the good prefix survives.
+func TestStoreCorruptTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeFixtureState(t, s)
+	want := marshalState(t, s.State())
+	s.CloseAbrupt()
+
+	jPath := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(jPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{torn rec\n{\"seq\":99,\"type\":\"tenant_create\",\"crc\":1}\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseAbrupt()
+	if re.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", re.Dropped())
+	}
+	if got := marshalState(t, re.State()); !bytes.Equal(got, want) {
+		t.Fatalf("state after tail damage differs from the pre-damage mirror")
+	}
+}
+
+// The snapshot-then-truncate crash window: if the snapshot lands but the
+// truncate never happens, replaying the stale journal over the snapshot
+// must be a no-op (every record's seq is covered by the snapshot).
+func TestStoreSnapshotTruncateCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeFixtureState(t, s)
+	want := marshalState(t, s.State())
+	jPath := filepath.Join(dir, journalName)
+	stale, err := os.ReadFile(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Undo the truncate, as if the crash hit between rename and truncate.
+	if err := os.WriteFile(jPath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.CloseAbrupt()
+
+	re, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseAbrupt()
+	if got := marshalState(t, re.State()); !bytes.Equal(got, want) {
+		t.Fatalf("stale-journal replay changed state (double-applied records)")
+	}
+	if n := re.State().Tenants["acme"].Chips["c1"].JobsDone; n != 1 {
+		t.Fatalf("jobs done = %d after stale replay, want 1", n)
+	}
+}
+
+// A leftover snapshot temp file from a crashed snapshot attempt is ignored;
+// the journal still carries those records.
+func TestStoreIgnoresSnapshotTemp(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeFixtureState(t, s)
+	want := marshalState(t, s.State())
+	s.CloseAbrupt()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName+".tmp"), []byte("{half a snapsho"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseAbrupt()
+	if got := marshalState(t, re.State()); !bytes.Equal(got, want) {
+		t.Fatalf("temp snapshot file perturbed recovery")
+	}
+}
+
+// Close persists via snapshot; a clean reopen needs no journal at all.
+func TestStoreCleanCloseReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeFixtureState(t, s)
+	want := marshalState(t, s.State())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshalState(t, re.State()); !bytes.Equal(got, want) {
+		t.Fatalf("clean close/reopen changed state")
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

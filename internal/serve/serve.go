@@ -1,0 +1,60 @@
+// Package serve is the medad fleet service: a multi-tenant controller
+// multiplexing many simulated MEDA biochips over the repo's synthesis,
+// scheduling, and simulation machinery, with a REST + WebSocket API,
+// durable snapshot-plus-journal persistence, and webhook notifications.
+// See fleet.go for the tenancy/determinism model, store.go for the
+// persistence format, and handlers.go for the API surface.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+)
+
+// Server couples a Fleet with its HTTP front end.
+type Server struct {
+	Fleet *Fleet
+	hs    *http.Server
+}
+
+// NewServer builds the fleet (replaying any persisted state) and its
+// handler.
+func NewServer(cfg Config) (*Server, error) {
+	f, err := NewFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{Fleet: f, hs: &http.Server{Handler: Handler(f)}}, nil
+}
+
+// Serve accepts connections until Shutdown or Kill.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.hs.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: the HTTP server stops accepting and waits for
+// in-flight handlers (WebSocket streams finish their close handshake when
+// the fleet stops), then the fleet drains workers and persists. Every error
+// on the way down is propagated — the caller decides what a failed flush
+// means.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// Stop the fleet first so event streams close their WebSockets and
+	// hijacked connections (which http.Server.Shutdown does not track)
+	// unwind before the listener closes.
+	ferr := s.Fleet.Shutdown()
+	herr := s.hs.Shutdown(ctx)
+	return errors.Join(ferr, herr)
+}
+
+// Kill stops abruptly, simulating a crash: no snapshot, no close
+// handshakes; the journal alone carries the state forward.
+func (s *Server) Kill() {
+	s.Fleet.Kill()
+	s.hs.Close() //lint:ignore errflowstrict a simulated crash abandons connection cleanliness by design
+}

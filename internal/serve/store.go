@@ -1,0 +1,453 @@
+// Durable fleet state: a JSON snapshot plus the journal of journal.go.
+//
+// The Store keeps an in-memory mirror of the persisted state and applies
+// every appended record to it, so the mirror is — by construction — exactly
+// what a restart would reconstruct by replaying the journal over the last
+// snapshot. Snapshotting marshals the mirror through the classic
+// write-temp / fsync / rename dance and then truncates the journal, so a
+// crash at any instant leaves either the old snapshot with the full journal
+// or the new snapshot with an empty (or stale, replay-skipped) journal.
+//
+// Chip states, job results, and the shared strategy library are carried as
+// raw JSON produced by their owning packages (chip.SaveState,
+// sched.Library.Save); the store never interprets them.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"meda/pkg/api"
+)
+
+// Journal record types.
+const (
+	recTenantCreate = "tenant_create"
+	recWebhookAdd   = "webhook_add"
+	recChipCreate   = "chip_create"
+	recChipHealth   = "chip_health"
+	recJobSubmit    = "job_submit"
+	recJobStart     = "job_start"
+	recJobProgress  = "job_progress"
+	recJobDone      = "job_done"
+	recJobCancel    = "job_cancel"
+)
+
+// Journal record payloads.
+type tenantCreateRec struct {
+	ID string `json:"id"`
+}
+
+type webhookAddRec struct {
+	Tenant string          `json:"tenant"`
+	Spec   api.WebhookSpec `json:"spec"`
+}
+
+type chipCreateRec struct {
+	Tenant string          `json:"tenant"`
+	Spec   api.ChipSpec    `json:"spec"`
+	State  json.RawMessage `json:"state"`
+}
+
+type chipHealthRec struct {
+	Tenant string          `json:"tenant"`
+	Chip   string          `json:"chip"`
+	State  json.RawMessage `json:"state"`
+}
+
+type jobSubmitRec struct {
+	ID     string      `json:"id"`
+	Tenant string      `json:"tenant"`
+	Spec   api.JobSpec `json:"spec"`
+}
+
+// jobStartRec pins the chip state the job starts from. Execution is a
+// deterministic function of (chip state, job spec, chip spec), so this
+// record is the resume point: a job with a start record but no done record
+// re-executes from State and lands on byte-identical results.
+type jobStartRec struct {
+	Job    string          `json:"job"`
+	Tenant string          `json:"tenant"`
+	Chip   string          `json:"chip"`
+	State  json.RawMessage `json:"state"`
+}
+
+type jobProgressRec struct {
+	Job      string       `json:"job"`
+	Progress api.Progress `json:"progress"`
+}
+
+type jobDoneRec struct {
+	Job string `json:"job"`
+	// Result and Error are mutually exclusive: a Result (even an aborted
+	// one) means the execution ran to a verdict, an Error means it did not.
+	Result *api.Execution  `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	State  json.RawMessage `json:"state,omitempty"` // chip state after the job
+}
+
+type jobCancelRec struct {
+	Job string `json:"job"`
+}
+
+// PersistedChip is one chip's durable state.
+type PersistedChip struct {
+	Spec api.ChipSpec `json:"spec"`
+	// State is the chip.SaveState JSON as of the last job boundary (or
+	// health upload) — the base state the next job starts from.
+	State    json.RawMessage `json:"state"`
+	JobsDone int             `json:"jobs_done"`
+}
+
+// PersistedTenant is one tenant's durable state.
+type PersistedTenant struct {
+	ID       string                    `json:"id"`
+	Webhooks []api.WebhookSpec         `json:"webhooks,omitempty"`
+	Chips    map[string]*PersistedChip `json:"chips"`
+}
+
+// PersistedJob is one job's durable state.
+type PersistedJob struct {
+	ID       string         `json:"id"`
+	Tenant   string         `json:"tenant"`
+	Spec     api.JobSpec    `json:"spec"`
+	State    api.JobState   `json:"state"`
+	Result   *api.Execution `json:"result,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Progress *api.Progress  `json:"progress,omitempty"`
+}
+
+// State is the full durable fleet state: the snapshot schema and the
+// journal-replay target.
+type State struct {
+	Version int                         `json:"version"`
+	Seq     int64                       `json:"seq"`
+	JobSeq  int                         `json:"job_seq"`
+	Tenants map[string]*PersistedTenant `json:"tenants"`
+	Jobs    map[string]*PersistedJob    `json:"jobs"`
+	// JobOrder preserves submission order so a restart re-queues unfinished
+	// jobs in the order they were accepted.
+	JobOrder []string `json:"job_order"`
+	// Library is the shared strategy library (sched.Library.Save JSON). It
+	// is refreshed at snapshot time only: strategies synthesized since the
+	// last snapshot are recomputed deterministically on demand, so losing
+	// them to a crash costs time, never correctness.
+	Library json.RawMessage `json:"library,omitempty"`
+}
+
+func newState() *State {
+	return &State{
+		Version: 1,
+		Tenants: make(map[string]*PersistedTenant),
+		Jobs:    make(map[string]*PersistedJob),
+	}
+}
+
+// apply folds one journal record into the state. Unknown record types are
+// an error — they mean the journal was written by a newer build.
+func (s *State) apply(rec Record) error {
+	fail := func(err error) error {
+		return fmt.Errorf("serve: journal record %d (%s): %w", rec.Seq, rec.Type, err)
+	}
+	switch rec.Type {
+	case recTenantCreate:
+		var r tenantCreateRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fail(err)
+		}
+		if _, ok := s.Tenants[r.ID]; !ok {
+			s.Tenants[r.ID] = &PersistedTenant{ID: r.ID, Chips: make(map[string]*PersistedChip)}
+		}
+	case recWebhookAdd:
+		var r webhookAddRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fail(err)
+		}
+		if t := s.Tenants[r.Tenant]; t != nil {
+			t.Webhooks = append(t.Webhooks, r.Spec)
+		}
+	case recChipCreate:
+		var r chipCreateRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fail(err)
+		}
+		if t := s.Tenants[r.Tenant]; t != nil {
+			t.Chips[r.Spec.ID] = &PersistedChip{Spec: r.Spec, State: r.State}
+		}
+	case recChipHealth:
+		var r chipHealthRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fail(err)
+		}
+		if t := s.Tenants[r.Tenant]; t != nil {
+			if c := t.Chips[r.Chip]; c != nil {
+				c.State = r.State
+			}
+		}
+	case recJobSubmit:
+		var r jobSubmitRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fail(err)
+		}
+		s.JobSeq++
+		s.Jobs[r.ID] = &PersistedJob{ID: r.ID, Tenant: r.Tenant, Spec: r.Spec, State: api.JobQueued}
+		s.JobOrder = append(s.JobOrder, r.ID)
+	case recJobStart:
+		var r jobStartRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fail(err)
+		}
+		if j := s.Jobs[r.Job]; j != nil {
+			j.State = api.JobRunning
+		}
+		// Pin the chip's state to the job's start state; normally a no-op
+		// (it already is the post-previous-job state), but it makes replay
+		// independent of how the chip record got there.
+		if t := s.Tenants[r.Tenant]; t != nil {
+			if c := t.Chips[r.Chip]; c != nil && len(r.State) > 0 {
+				c.State = r.State
+			}
+		}
+	case recJobProgress:
+		var r jobProgressRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fail(err)
+		}
+		if j := s.Jobs[r.Job]; j != nil {
+			p := r.Progress
+			j.Progress = &p
+		}
+	case recJobDone:
+		var r jobDoneRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fail(err)
+		}
+		j := s.Jobs[r.Job]
+		if j == nil {
+			return nil
+		}
+		j.Progress = nil
+		if r.Error != "" {
+			j.State = api.JobFailed
+			j.Error = r.Error
+		} else {
+			j.State = api.JobDone
+			j.Result = r.Result
+		}
+		if t := s.Tenants[j.Tenant]; t != nil {
+			if c := t.Chips[j.Spec.Chip]; c != nil {
+				if len(r.State) > 0 {
+					c.State = r.State
+				}
+				c.JobsDone++
+			}
+		}
+	case recJobCancel:
+		var r jobCancelRec
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fail(err)
+		}
+		if j := s.Jobs[r.Job]; j != nil && !j.State.Terminal() {
+			j.State = api.JobCanceled
+			j.Progress = nil
+		}
+	default:
+		return fail(fmt.Errorf("unknown record type"))
+	}
+	return nil
+}
+
+// Store owns the data directory: snapshot.json plus journal.jsonl. All
+// methods are safe for concurrent use.
+type Store struct {
+	dir string
+	// mu guards state, jw, and the files: sequence assignment, the mirror
+	// update, and the journal append form one atomic step.
+	mu      sync.Mutex
+	state   *State
+	jw      *journalWriter
+	dropped int // crash-damaged journal tail records dropped at open
+}
+
+const (
+	snapshotName = "snapshot.json"
+	journalName  = "journal.jsonl"
+)
+
+// OpenStore opens (or initializes) a data directory, replays
+// snapshot + journal into the in-memory mirror, and compacts: it writes a
+// fresh snapshot of the recovered state and truncates the journal, which
+// both bounds journal growth and amputates any crash-damaged tail before
+// new records are appended after it.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating data dir: %w", err)
+	}
+	s := &Store{dir: dir, state: newState()}
+
+	// Snapshot, if one landed (a leftover .tmp from a crashed snapshot
+	// attempt is ignored; the journal still holds those records).
+	snapPath := filepath.Join(dir, snapshotName)
+	if raw, err := os.ReadFile(snapPath); err == nil {
+		var snap State
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", snapPath, err)
+		}
+		if snap.Version != 1 {
+			return nil, fmt.Errorf("serve: unsupported snapshot version %d", snap.Version)
+		}
+		if snap.Tenants == nil {
+			snap.Tenants = make(map[string]*PersistedTenant)
+		}
+		if snap.Jobs == nil {
+			snap.Jobs = make(map[string]*PersistedJob)
+		}
+		s.state = &snap
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("serve: reading snapshot: %w", err)
+	}
+
+	// Journal replay, skipping records the snapshot already covers.
+	jPath := filepath.Join(dir, journalName)
+	if f, err := os.Open(jPath); err == nil {
+		recs, dropped, rerr := readJournal(f, s.state.Seq)
+		cerr := f.Close()
+		if rerr != nil {
+			return nil, errors.Join(rerr, cerr)
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("serve: closing journal: %w", cerr)
+		}
+		s.dropped = dropped
+		for _, rec := range recs {
+			if err := s.state.apply(rec); err != nil {
+				return nil, err
+			}
+			s.state.Seq = rec.Seq
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+
+	// Compact: snapshot the recovered state, then start a clean journal.
+	if err := s.writeSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := os.Truncate(jPath, 0); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("serve: truncating journal: %w", err)
+	}
+	jw, err := openJournal(jPath)
+	if err != nil {
+		return nil, err
+	}
+	s.jw = jw
+	return s, nil
+}
+
+// State exposes the in-memory mirror. The fleet reads it once at startup to
+// rebuild runtime state; afterwards mutation happens only through Append.
+func (s *Store) State() *State { return s.state }
+
+// Dropped reports how many crash-damaged journal tail records were dropped
+// when the store was opened.
+func (s *Store) Dropped() int { return s.dropped }
+
+// Append journals one record and folds it into the mirror. sync forces the
+// record to stable storage before returning; callers reserve it for
+// transitions that must survive a power cut (job and chip lifecycle), while
+// high-rate progress beacons ride on the OS flush.
+func (s *Store) Append(typ string, payload any, sync bool) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("serve: encoding %s record: %w", typ, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.state.Seq + 1
+	rec := Record{Seq: seq, Type: typ, Data: data, CRC: recordCRC(seq, typ, data)}
+	if err := s.state.apply(rec); err != nil {
+		return err
+	}
+	s.state.Seq = seq
+	return s.jw.Append(rec, sync)
+}
+
+// SetLibrary replaces the mirrored strategy-library JSON; the next snapshot
+// persists it.
+func (s *Store) SetLibrary(raw []byte) {
+	s.mu.Lock()
+	s.state.Library = raw
+	s.mu.Unlock()
+}
+
+// Snapshot persists the mirror and truncates the journal.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeSnapshot(); err != nil {
+		return err
+	}
+	if err := s.jw.bw.Flush(); err != nil {
+		return fmt.Errorf("serve: flushing journal: %w", err)
+	}
+	if err := s.jw.f.Truncate(0); err != nil {
+		return fmt.Errorf("serve: truncating journal: %w", err)
+	}
+	if _, err := s.jw.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("serve: rewinding journal: %w", err)
+	}
+	return nil
+}
+
+// writeSnapshot marshals the mirror to snapshot.json via temp-file rename.
+// Callers hold the journal lock (or have exclusive access during open).
+func (s *Store) writeSnapshot() error {
+	raw, err := json.Marshal(s.state)
+	if err != nil {
+		return fmt.Errorf("serve: encoding snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: creating snapshot temp: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close() //lint:ignore errflowstrict write already failed; the close error cannot add anything
+		return fmt.Errorf("serve: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //lint:ignore errflowstrict sync already failed; the close error cannot add anything
+		return fmt.Errorf("serve: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("serve: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// CloseAbrupt closes the journal file descriptor without snapshotting or
+// syncing — the closest a clean process gets to a crash. The journal alone
+// (every record of which was flushed at append time) carries the state; the
+// kill-and-resume tests exercise recovery through this path.
+func (s *Store) CloseAbrupt() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jw.f.Close() //lint:ignore errflowstrict simulating a crash: the close error is the point of abandoning cleanliness
+}
+
+// Close snapshots and closes the journal.
+func (s *Store) Close() error {
+	if err := s.Snapshot(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jw.Close()
+}

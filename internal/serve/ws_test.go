@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// RFC 6455 §1.3 handshake test vector.
+func TestWSAcceptKeyRFCVector(t *testing.T) {
+	got := wsAcceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	if want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="; got != want {
+		t.Fatalf("wsAcceptKey = %q, want %q", got, want)
+	}
+}
+
+func TestHeaderHasToken(t *testing.T) {
+	cases := []struct {
+		header, token string
+		want          bool
+	}{
+		{"Upgrade", "upgrade", true},
+		{"keep-alive, Upgrade", "upgrade", true},
+		{"keep-alive,upgrade", "upgrade", true},
+		{"keep-alive", "upgrade", false},
+		{"", "upgrade", false},
+		{"upgraded", "upgrade", false},
+	}
+	for _, c := range cases {
+		if got := headerHasToken(c.header, c.token); got != c.want {
+			t.Errorf("headerHasToken(%q, %q) = %v, want %v", c.header, c.token, got, c.want)
+		}
+	}
+}
+
+// wsPipe builds a server-side and client-side WSConn over an in-memory pipe.
+func wsPipe(t *testing.T) (srv, cli *WSConn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	srv = &WSConn{conn: a, br: bufio.NewReader(a), server: true}
+	cli = NewWSClientConn(b, nil)
+	return srv, cli
+}
+
+// Frames round-trip in both directions across the three length encodings:
+// 7-bit (<126), 16-bit (126..65535), and 64-bit (>65535).
+func TestWSFrameRoundTrip(t *testing.T) {
+	sizes := []int{0, 1, 125, 126, 4096, 65535, 65536, 200_000}
+	srv, cli := wsPipe(t)
+	for _, n := range sizes {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		for dir, pair := range map[string][2]*WSConn{
+			"client->server": {cli, srv},
+			"server->client": {srv, cli},
+		} {
+			from, to := pair[0], pair[1]
+			errCh := make(chan error, 1)
+			go func() { errCh <- from.WriteText(payload) }()
+			op, got, err := to.ReadFrame()
+			if err != nil {
+				t.Fatalf("%s len %d: read: %v", dir, n, err)
+			}
+			if werr := <-errCh; werr != nil {
+				t.Fatalf("%s len %d: write: %v", dir, n, werr)
+			}
+			if op != wsOpText || !bytes.Equal(got, payload) {
+				t.Fatalf("%s len %d: op %#x, payload mismatch (%d bytes)", dir, n, op, len(got))
+			}
+		}
+	}
+}
+
+// A ping surfaces to the caller (the event loop answers it); WritePong
+// mirrors the payload back.
+func TestWSPingPong(t *testing.T) {
+	srv, cli := wsPipe(t)
+	go func() { cli.writeFrame(wsOpPing, []byte("hb")) }() //nolint
+	op, payload, err := srv.ReadFrame()
+	if err != nil || op != wsOpPing || string(payload) != "hb" {
+		t.Fatalf("ping: op %#x payload %q err %v", op, payload, err)
+	}
+	go func() { srv.WritePong(payload) }() //nolint
+	op, payload, err = cli.ReadFrame()
+	if err != nil || op != wsOpPong || string(payload) != "hb" {
+		t.Fatalf("pong: op %#x payload %q err %v", op, payload, err)
+	}
+}
+
+// The close handshake surfaces as errWSClosed on the reader side.
+func TestWSCloseHandshake(t *testing.T) {
+	srv, cli := wsPipe(t)
+	go func() { cli.WriteClose(wsCloseNormal, "bye") }() //nolint
+	_, _, err := srv.ReadFrame()
+	if !errors.Is(err, errWSClosed) {
+		t.Fatalf("err = %v, want errWSClosed", err)
+	}
+}
+
+// Oversized frames are refused before the payload is swallowed.
+func TestWSMaxPayloadEnforced(t *testing.T) {
+	srv, cli := wsPipe(t)
+	go func() { cli.WriteText(make([]byte, wsMaxPayload+1)) }() //nolint
+	_, _, err := srv.ReadFrame()
+	if err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if errors.Is(err, errWSClosed) {
+		t.Fatalf("oversized frame reported as clean close: %v", err)
+	}
+}
+
+// A plain GET without upgrade headers is rejected with 400, not hijacked.
+func TestWSUpgradeRejectsPlainGET(t *testing.T) {
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/tenants/t/events", nil)
+	if _, err := wsUpgrade(rr, req); err == nil {
+		t.Fatal("wsUpgrade accepted a plain GET")
+	}
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rr.Code)
+	}
+}
+
+// Full handshake over a real TCP-like stack: wsUpgrade on an httptest
+// server, client side via NewWSClientConn, one echo round-trip, then a
+// clean CloseHandshake.
+func TestWSUpgradeEndToEnd(t *testing.T) {
+	upgraded := make(chan *WSConn, 1)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := wsUpgrade(w, r)
+		if err != nil {
+			return
+		}
+		upgraded <- c
+	}))
+	defer hs.Close()
+
+	conn, err := net.Dial("tcp", hs.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := "GET /ws HTTP/1.1\r\n" +
+		"Host: " + hs.Listener.Addr().String() + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		t.Fatalf("status = %d, want 101", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" {
+		t.Fatalf("accept key = %q", got)
+	}
+	cli := NewWSClientConn(conn, br)
+
+	var srv *WSConn
+	select {
+	case srv = <-upgraded:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server side never upgraded")
+	}
+	if err := cli.WriteText([]byte("ping over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := srv.ReadFrame()
+	if err != nil || op != wsOpText || string(payload) != "ping over tcp" {
+		t.Fatalf("server read: op %#x payload %q err %v", op, payload, err)
+	}
+	if err := srv.WriteText(payload); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err = cli.ReadFrame()
+	if err != nil || op != wsOpText || string(payload) != "ping over tcp" {
+		t.Fatalf("client read: op %#x payload %q err %v", op, payload, err)
+	}
+	// Closing handshake: client initiates, server reads the close and
+	// echoes its own, which satisfies the client's bounded wait.
+	closed := make(chan error, 1)
+	go func() { closed <- cli.CloseHandshake(wsCloseNormal, "done", 5*time.Second) }()
+	if _, _, err := srv.ReadFrame(); !errors.Is(err, errWSClosed) {
+		t.Fatalf("server after client close: %v, want errWSClosed", err)
+	}
+	if err := srv.WriteClose(wsCloseNormal, "done"); err != nil {
+		t.Fatalf("server close reply: %v", err)
+	}
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close handshake: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close handshake never completed")
+	}
+}

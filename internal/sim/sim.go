@@ -79,6 +79,13 @@ type Config struct {
 	// droplets of different operations must never overlap and no droplet
 	// may leave the array. Violations are counted, not fatal.
 	CheckHazards bool
+	// Checkpoint, when its Fn is non-nil, observes the execution every
+	// Every cycles (and on the final cycle): the fleet service journals
+	// progress, emits streaming events, and aborts cooperatively through
+	// it (see checkpoint.go). The hook must not mutate chip or droplet
+	// state; it runs on the executor's goroutine, so it never races the
+	// simulation.
+	Checkpoint CheckpointConfig
 	// Concurrent enables the assay-level concurrent executor: every ready
 	// operation activates as soon as its goal sites are mutually exclusive
 	// (rather than waiting for whole-hazard-zone exclusivity), per-move
@@ -809,8 +816,22 @@ func (r *Runner) execute(plan *route.Plan) (Execution, error) {
 		}
 		if allDone {
 			exec.Success = true
+			if err := r.checkpoint(k, &exec, len(droplets), true); err != nil {
+				return exec, err
+			}
 			return exec, nil
 		}
+
+		// 7b. Periodic checkpoint: observe progress and honor cooperative
+		// aborts (cancellation, controller shutdown). Placed after the
+		// completion check so a finished execution is never aborted on its
+		// final cycle.
+		if err := r.checkpoint(k, &exec, len(droplets), false); err != nil {
+			return exec, err
+		}
+	}
+	if err := r.checkpoint(r.Cfg.KMax, &exec, len(droplets), true); err != nil {
+		return exec, err
 	}
 	return exec, nil
 }

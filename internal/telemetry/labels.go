@@ -1,0 +1,113 @@
+// Label support: the fleet service serves many tenants from one process, so
+// per-tenant metrics need a dimension beyond the flat metric name. Rather
+// than complicate the lock-free metric kernel with label maps, labels are
+// encoded canonically into the name — `serve.jobs.completed{tenant="acme"}`
+// — which keeps every existing registry, snapshot, and handler working
+// unchanged while letting consumers group or filter by label.
+package telemetry
+
+import (
+	"sort"
+	"strings"
+)
+
+// With renders a metric name with labels appended in canonical form:
+// key/value pairs sorted by key, each rendered as key="value". Pairs must
+// come in key, value order; With panics on an odd count (a programming
+// error, like a bad Sprintf verb). Label values containing `"` or `\` are
+// escaped so the rendering stays parseable.
+//
+//	With("serve.jobs.completed", "tenant", "acme")
+//	  == `serve.jobs.completed{tenant="acme"}`
+func With(name string, pairs ...string) string {
+	if len(pairs) == 0 {
+		return name
+	}
+	if len(pairs)%2 != 0 {
+		panic("telemetry: With requires an even number of label arguments")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `"\`) {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		if r == '"' || r == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Base splits a metric name rendered by With back into its base name and
+// label set. Names without labels return (name, nil). A malformed label
+// suffix is treated as part of the base name rather than guessed at.
+func Base(metric string) (string, map[string]string) {
+	open := strings.IndexByte(metric, '{')
+	if open < 0 || !strings.HasSuffix(metric, "}") {
+		return metric, nil
+	}
+	body := metric[open+1 : len(metric)-1]
+	labels := make(map[string]string)
+	for len(body) > 0 {
+		eq := strings.Index(body, `="`)
+		if eq < 0 {
+			return metric, nil
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		// Find the closing quote, honoring escapes.
+		var val strings.Builder
+		i := 0
+		closed := false
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				val.WriteByte(rest[i+1])
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return metric, nil
+		}
+		labels[key] = val.String()
+		body = rest[i:]
+		if strings.HasPrefix(body, ",") {
+			body = body[1:]
+		} else if len(body) > 0 {
+			return metric, nil
+		}
+	}
+	return metric[:open], labels
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWithCanonicalOrder(t *testing.T) {
+	a := With("serve.jobs.completed", "tenant", "acme", "chip", "c1")
+	b := With("serve.jobs.completed", "chip", "c1", "tenant", "acme")
+	if a != b {
+		t.Fatalf("label order should not matter: %q vs %q", a, b)
+	}
+	want := `serve.jobs.completed{chip="c1",tenant="acme"}`
+	if a != want {
+		t.Fatalf("got %q, want %q", a, want)
+	}
+	if got := With("plain"); got != "plain" {
+		t.Fatalf("no labels should be identity, got %q", got)
+	}
+}
+
+func TestWithOddPairsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label count should panic")
+		}
+	}()
+	With("x", "tenant")
+}
+
+func TestBaseRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		pairs  []string
+		labels map[string]string
+	}{
+		{"serve.jobs.completed", []string{"tenant", "acme"}, map[string]string{"tenant": "acme"}},
+		{"m", []string{"a", "1", "b", "2"}, map[string]string{"a": "1", "b": "2"}},
+		{"m", []string{"k", `quo"te\slash`}, map[string]string{"k": `quo"te\slash`}},
+	}
+	for _, c := range cases {
+		metric := With(c.name, c.pairs...)
+		base, labels := Base(metric)
+		if base != c.name || !reflect.DeepEqual(labels, c.labels) {
+			t.Errorf("Base(%q) = %q, %v; want %q, %v", metric, base, labels, c.name, c.labels)
+		}
+	}
+}
+
+func TestBaseWithoutLabels(t *testing.T) {
+	base, labels := Base("sim.cycles")
+	if base != "sim.cycles" || labels != nil {
+		t.Fatalf("got %q, %v", base, labels)
+	}
+	// Malformed suffixes fall back to the whole name.
+	for _, m := range []string{"x{", "x{a=1}", `x{a="1}`} {
+		base, labels = Base(m)
+		if base != m || labels != nil {
+			t.Errorf("Base(%q) = %q, %v; want identity", m, base, labels)
+		}
+	}
+}
+
+func TestLabeledMetricsAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(With("jobs", "tenant", "a")).Add(2)
+	r.Counter(With("jobs", "tenant", "b")).Add(3)
+	s := r.Snapshot()
+	if s.Counters[`jobs{tenant="a"}`] != 2 || s.Counters[`jobs{tenant="b"}`] != 3 {
+		t.Fatalf("labeled counters not distinct: %v", s.Counters)
+	}
+}

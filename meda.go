@@ -164,6 +164,13 @@ const (
 	PCRMix         = assay.PCRMix
 )
 
+// ParseBenchmark resolves a benchmark by slug or display name,
+// case-insensitively ("serial-dilution", "NuIP").
+func ParseBenchmark(name string) (Benchmark, bool) { return assay.ParseBenchmark(name) }
+
+// BenchmarkSlugs lists every benchmark's slug in declaration order.
+func BenchmarkSlugs() []string { return assay.BenchmarkSlugs() }
+
 // Fault-injection modes.
 const (
 	FaultNone      = degrade.FaultNone

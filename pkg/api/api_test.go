@@ -1,0 +1,75 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateID(t *testing.T) {
+	valid := []string{"a", "A9", "chip-0", "t.1_x", "x" + strings.Repeat("y", 63)}
+	for _, id := range valid {
+		if err := ValidateID("tenant", id); err != nil {
+			t.Errorf("ValidateID(%q) = %v, want nil", id, err)
+		}
+	}
+	invalid := []string{"", ".hidden", "-lead", "has space", "semi;colon", "x" + strings.Repeat("y", 64), "sla/sh", "Ünicode"}
+	for _, id := range invalid {
+		if err := ValidateID("tenant", id); err == nil {
+			t.Errorf("ValidateID(%q) accepted", id)
+		}
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	valid := []JobSpec{
+		{Chip: "c", Benchmark: "serial-dilution"},
+		{Chip: "c", Assay: "assay x\na = dis 16\nout a\n", KMax: 10},
+	}
+	for i, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("valid[%d]: %v", i, err)
+		}
+	}
+	invalid := []JobSpec{
+		{},                                      // no chip
+		{Chip: "c"},                             // neither benchmark nor assay
+		{Chip: "c", Benchmark: "b", Assay: "a"}, // both
+		{Chip: "c", Benchmark: "b", KMax: -1},
+		{Chip: "c", Benchmark: "b", Area: -4},
+	}
+	for i, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid[%d] accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestJobStateTerminal(t *testing.T) {
+	for state, want := range map[JobState]bool{
+		JobQueued: false, JobRunning: false,
+		JobDone: true, JobFailed: true, JobCanceled: true,
+	} {
+		if got := state.Terminal(); got != want {
+			t.Errorf("%s.Terminal() = %v, want %v", state, got, want)
+		}
+	}
+}
+
+// The default webhook filter is the fault-escalation feed — routine
+// lifecycle events must not be in it, the escalations must.
+func TestDegradationEventsFilter(t *testing.T) {
+	set := make(map[string]bool, len(DegradationEvents))
+	for _, ev := range DegradationEvents {
+		set[ev] = true
+	}
+	for _, must := range []string{EvChipDegraded, EvJobDegraded, EvJobDeadlock, EvJobDivergence, EvJobHazard, EvJobFailed} {
+		if !set[must] {
+			t.Errorf("DegradationEvents missing %s", must)
+		}
+	}
+	for _, mustNot := range []string{EvJobQueued, EvJobStarted, EvJobProgress, EvJobDone, EvTenantCreated} {
+		if set[mustNot] {
+			t.Errorf("DegradationEvents wrongly includes %s", mustNot)
+		}
+	}
+}
